@@ -1,0 +1,85 @@
+// Command sealbench regenerates the tables and figures of the SEAL paper's
+// evaluation (Section 6) against the synthetic workloads described in
+// DESIGN.md. Without flags it runs every experiment at the default scale;
+// use -exp to select one and -objects/-queries to rescale.
+//
+// Examples:
+//
+//	sealbench                        # everything, default scale
+//	sealbench -exp fig16             # one experiment
+//	sealbench -exp table1 -objects 100000
+//	sealbench -list                  # show available experiments
+//	sealbench -smoke                 # tiny, fast configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/sealdb/seal/internal/bench"
+)
+
+func main() {
+	var (
+		expName = flag.String("exp", "all", "experiment to run (see -list), or 'all'")
+		objects = flag.Int("objects", bench.DefaultConfig.TwitterN, "objects per dataset")
+		queries = flag.Int("queries", bench.DefaultConfig.Queries, "queries per workload")
+		seed    = flag.Int64("seed", bench.DefaultConfig.Seed, "master random seed")
+		budget  = flag.Int("budget", bench.DefaultConfig.HierBudget, "per-token grid budget m_t for Seal")
+		level   = flag.Int("level", bench.DefaultConfig.HierMaxLevel, "grid-tree depth for Seal")
+		smoke   = flag.Bool("smoke", false, "use the tiny smoke-test configuration")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quiet   = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("  %-10s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	cfg := bench.DefaultConfig
+	if *smoke {
+		cfg = bench.SmokeConfig
+	}
+	if *objects != bench.DefaultConfig.TwitterN {
+		cfg.TwitterN = *objects
+		cfg.USAN = *objects
+	}
+	if *queries != bench.DefaultConfig.Queries {
+		cfg.Queries = *queries
+	}
+	cfg.Seed = *seed
+	cfg.HierBudget = *budget
+	cfg.HierMaxLevel = *level
+
+	env := bench.NewEnv(cfg)
+	if !*quiet {
+		env.Log = os.Stderr
+	}
+	fmt.Printf("# sealbench: objects=%d queries=%d seed=%d budget=%d level=%d\n",
+		cfg.TwitterN, cfg.Queries, cfg.Seed, cfg.HierBudget, cfg.HierMaxLevel)
+
+	names := strings.Split(*expName, ",")
+	if *expName == "all" {
+		names = names[:0]
+		for _, e := range bench.Experiments {
+			names = append(names, e.Name)
+		}
+	}
+	for _, name := range names {
+		exp, ok := bench.Lookup(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sealbench: unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		if err := exp.Run(os.Stdout, env); err != nil {
+			fmt.Fprintf(os.Stderr, "sealbench: %s: %v\n", exp.Name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command sealgen generates the synthetic Twitter-like or USA-like dataset
+// described in DESIGN.md and writes it as a snapshot file that sealquery can
+// load, so expensive generation happens once.
+//
+// Examples:
+//
+//	sealgen -kind twitter -n 100000 -o twitter.snap
+//	sealgen -kind usa -n 50000 -seed 7 -o usa.snap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/sealdb/seal/internal/gen"
+	"github.com/sealdb/seal/internal/model"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "twitter", "dataset kind: twitter or usa")
+		n    = flag.Int("n", 100000, "number of objects")
+		seed = flag.Int64("seed", 42, "random seed")
+		out  = flag.String("o", "", "output snapshot path (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "sealgen: -o output path is required")
+		os.Exit(2)
+	}
+
+	var (
+		ds  *model.Dataset
+		err error
+	)
+	switch *kind {
+	case "twitter":
+		ds, err = gen.Twitter(gen.TwitterConfig{N: *n, Seed: *seed})
+	case "usa":
+		ds, err = gen.USA(gen.USAConfig{N: *n, Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "sealgen: unknown kind %q (twitter or usa)\n", *kind)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sealgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sealgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := ds.WriteSnapshot(f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "sealgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "sealgen: %v\n", err)
+		os.Exit(1)
+	}
+	info, _ := os.Stat(*out)
+	fmt.Printf("wrote %s: %d objects, %d tokens in vocabulary, %.1f MB\n",
+		*out, ds.Len(), ds.Vocab().Len(), float64(info.Size())/(1<<20))
+}

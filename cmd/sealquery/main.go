@@ -1,0 +1,210 @@
+// Command sealquery loads a dataset snapshot produced by sealgen, builds a
+// SEAL index, and answers spatio-textual similarity queries — one from the
+// command line, or a stream of them from stdin.
+//
+// One-shot:
+//
+//	sealquery -data twitter.snap -rect 100,200,130,240 -tokens "banodi,rukema" -taur 0.3 -taut 0.3
+//
+// Interactive (one query per line: minx miny maxx maxy tauR tauT token...):
+//
+//	sealquery -data twitter.snap -i
+//	> 100 200 130 240 0.3 0.3 banodi rukema
+//
+// Output lists matching object IDs with their exact similarities and the
+// filter/verification timing split.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/sealdb/seal/internal/baseline"
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/irtree"
+	"github.com/sealdb/seal/internal/model"
+)
+
+func main() {
+	var (
+		dataPath    = flag.String("data", "", "snapshot path from sealgen (required)")
+		method      = flag.String("method", "seal", "seal|token|grid|hybrid|keyword|spatial|irtree|scan")
+		granularity = flag.Int("p", 1024, "grid granularity for grid/hybrid")
+		rectSpec    = flag.String("rect", "", "query rectangle minx,miny,maxx,maxy")
+		tokensSpec  = flag.String("tokens", "", "comma-separated query tokens")
+		tauR        = flag.Float64("taur", 0.3, "spatial similarity threshold")
+		tauT        = flag.Float64("taut", 0.3, "textual similarity threshold")
+		topK        = flag.Int("topk", 0, "if > 0, run top-k search instead of threshold search")
+		alpha       = flag.Float64("alpha", 0.5, "spatial weight of the top-k score")
+		interactive = flag.Bool("i", false, "read queries from stdin")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fail("sealquery: -data is required")
+	}
+
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fail("sealquery: %v", err)
+	}
+	ds, err := model.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		fail("sealquery: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d objects, building %s index...\n", ds.Len(), *method)
+
+	filter, err := buildFilter(ds, *method, *granularity)
+	if err != nil {
+		fail("sealquery: %v", err)
+	}
+	searcher := core.NewSearcher(ds, filter)
+	fmt.Fprintf(os.Stderr, "index ready (%s, %.1f MB)\n", filter.Name(), float64(filter.SizeBytes())/(1<<20))
+
+	if *interactive {
+		runREPL(ds, searcher)
+		return
+	}
+	if *rectSpec == "" || *tokensSpec == "" {
+		fail("sealquery: -rect and -tokens are required without -i")
+	}
+	rect, err := parseRect(*rectSpec)
+	if err != nil {
+		fail("sealquery: %v", err)
+	}
+	if *topK > 0 {
+		runTopK(ds, searcher, rect, splitTokens(*tokensSpec), *topK, *alpha)
+		return
+	}
+	runOne(ds, searcher, rect, splitTokens(*tokensSpec), *tauR, *tauT)
+}
+
+func runTopK(ds *model.Dataset, s *core.Searcher, rect geo.Rect, tokens []string, k int, alpha float64) {
+	results, err := s.TopK(rect, tokens, core.TopKOptions{K: k, Alpha: alpha})
+	if err != nil {
+		fail("sealquery: %v", err)
+	}
+	fmt.Printf("top %d by %.2f*simR + %.2f*simT:\n", k, alpha, 1-alpha)
+	for rank, m := range results {
+		fmt.Printf("  %2d. object %d score=%.4f (simR=%.4f simT=%.4f)\n",
+			rank+1, m.ID, m.Score, m.SimR, m.SimT)
+	}
+}
+
+func buildFilter(ds *model.Dataset, method string, p int) (core.Filter, error) {
+	switch method {
+	case "seal":
+		return core.NewHierarchicalFilter(ds, core.DefaultHierarchicalConfig)
+	case "token":
+		return core.NewTokenFilter(ds), nil
+	case "grid":
+		return core.NewGridFilter(ds, p)
+	case "hybrid":
+		return core.NewHybridHashFilter(ds, p, 0)
+	case "keyword":
+		return baseline.NewKeywordFirst(ds), nil
+	case "spatial":
+		return baseline.NewSpatialFirst(ds, 64)
+	case "irtree":
+		return irtree.New(ds, 64)
+	case "scan":
+		return baseline.NewScan(ds), nil
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+}
+
+func runOne(ds *model.Dataset, s *core.Searcher, rect geo.Rect, tokens []string, tauR, tauT float64) {
+	q, err := ds.NewQuery(rect, tokens, tauR, tauT)
+	if err != nil {
+		fail("sealquery: %v", err)
+	}
+	matches, st := s.Search(q)
+	fmt.Printf("%d answers, %d candidates, filter %v + verify %v\n",
+		len(matches), st.Candidates, st.FilterTime, st.VerifyTime)
+	for _, m := range matches {
+		fmt.Printf("  object %d: simR=%.4f simT=%.4f region=%v\n", m.ID, m.SimR, m.SimT, ds.Region(m.ID))
+	}
+}
+
+func runREPL(ds *model.Dataset, s *core.Searcher) {
+	fmt.Println("query format: minx miny maxx maxy tauR tauT token [token...]  (ctrl-D to quit)")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 7 {
+			fmt.Println("need at least: minx miny maxx maxy tauR tauT token")
+			continue
+		}
+		nums := make([]float64, 6)
+		bad := false
+		for i := 0; i < 6; i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				fmt.Printf("bad number %q\n", fields[i])
+				bad = true
+				break
+			}
+			nums[i] = v
+		}
+		if bad {
+			continue
+		}
+		rect := geo.NewRect(nums[0], nums[1], nums[2], nums[3])
+		q, err := ds.NewQuery(rect, fields[6:], nums[4], nums[5])
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		matches, st := s.Search(q)
+		fmt.Printf("%d answers (%d candidates, %v)\n", len(matches), st.Candidates, st.FilterTime+st.VerifyTime)
+		for _, m := range matches {
+			fmt.Printf("  object %d: simR=%.4f simT=%.4f\n", m.ID, m.SimR, m.SimT)
+		}
+	}
+}
+
+func parseRect(s string) (geo.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geo.Rect{}, fmt.Errorf("rect needs 4 comma-separated numbers, got %q", s)
+	}
+	var vals [4]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geo.Rect{}, fmt.Errorf("bad coordinate %q", p)
+		}
+		vals[i] = v
+	}
+	return geo.NewRect(vals[0], vals[1], vals[2], vals[3]), nil
+}
+
+func splitTokens(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+// Package seal is a Go implementation of SEAL (Spatio-tExtuAl simiLarity
+// search), the filter-and-verification framework for similarity search over
+// regions of interest introduced by Fan, Li, Zhou, Chen and Hu in "SEAL:
+// Spatio-Textual Similarity Search", PVLDB 5(9), 2012.
+//
+// A dataset is a collection of spatio-textual objects, each an axis-aligned
+// rectangle (minimum bounding rectangle, MBR) plus a set of textual tokens.
+// A query supplies its own region, tokens, and two thresholds; the answer is
+// every object o with
+//
+//	simR(q, o) = |q.R ∩ o.R| / |q.R ∪ o.R| ≥ TauR   (spatial Jaccard), and
+//	simT(q, o) = Σ_{t∈q.T∩o.T} w(t) / Σ_{t∈q.T∪o.T} w(t) ≥ TauT
+//
+// where token weights default to idf over the indexed corpus.
+//
+// # Quick start
+//
+//	objects := []seal.Object{
+//	    {Region: seal.Rect{0, 0, 10, 10}, Tokens: []string{"coffee", "mocha"}},
+//	    {Region: seal.Rect{5, 5, 20, 18}, Tokens: []string{"coffee", "tea"}},
+//	}
+//	ix, err := seal.Build(objects)
+//	if err != nil { ... }
+//	matches, err := ix.Search(seal.Query{
+//	    Region: seal.Rect{2, 2, 12, 12},
+//	    Tokens: []string{"coffee", "mocha"},
+//	    TauR:   0.2,
+//	    TauT:   0.3,
+//	})
+//
+// # Methods
+//
+// The default index is the paper's full SEAL method: hierarchical hybrid
+// signatures selected per token by the greedy HSS algorithm, probed with
+// threshold-aware (prefix) pruning, followed by exact verification. The
+// other filters and baselines evaluated in the paper are available through
+// WithMethod: textual signatures only, uniform-grid spatial signatures,
+// hash-based hybrid signatures, keyword-first, spatial-first (R-tree),
+// IR-tree, and a full scan.
+//
+// All methods return exactly the same answers — every filter is complete —
+// so the choice only affects speed and index size.
+package seal

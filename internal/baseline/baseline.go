@@ -1,0 +1,172 @@
+// Package baseline implements the straightforward methods of Section 2.3
+// that the paper compares SEAL against: Keyword-first (textual candidates
+// from a token inverted index, spatial check afterwards), Spatial-first
+// (spatial candidates from an R-tree, textual check afterwards), and an
+// exhaustive Scan used as the ground-truth oracle in tests.
+//
+// All three implement core.Filter, so they share SEAL's verification step —
+// exactly how the paper frames them (generate candidates, then verify).
+package baseline
+
+import (
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/invidx"
+	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/rtree"
+)
+
+// KeywordFirst finds the objects with simT ≥ τT via token inverted lists and
+// leaves the spatial check to verification. Its weakness — no spatial
+// pruning at all — is what Figures 16/17 demonstrate.
+type KeywordFirst struct {
+	ds  *model.Dataset
+	idx *invidx.Index
+	acc *accumulator
+}
+
+// NewKeywordFirst indexes all objects of ds.
+func NewKeywordFirst(ds *model.Dataset) *KeywordFirst {
+	var b invidx.Builder
+	for obj := 0; obj < ds.Len(); obj++ {
+		for _, t := range ds.Tokens(model.ObjectID(obj)) {
+			b.Add(uint64(t), uint32(obj), ds.TokenWeight(t))
+		}
+	}
+	return &KeywordFirst{ds: ds, idx: b.Build(), acc: newAccumulator(ds.Len())}
+}
+
+// Name implements core.Filter.
+func (f *KeywordFirst) Name() string { return "Keyword" }
+
+// SizeBytes implements core.Filter.
+func (f *KeywordFirst) SizeBytes() int64 { return f.idx.SizeBytes() }
+
+// Postings returns the number of token postings (Table 1's TokenInv size).
+func (f *KeywordFirst) Postings() int { return f.idx.Postings() }
+
+// Collect implements core.Filter: it merges the query tokens' full lists,
+// computes the exact weighted Jaccard from the accumulated common weight,
+// and keeps objects passing τT.
+func (f *KeywordFirst) Collect(q *model.Query, cs *core.CandidateSet, st *core.FilterStats) {
+	f.acc.reset()
+	for _, t := range q.Tokens {
+		l := f.idx.List(uint64(t))
+		if l == nil {
+			continue
+		}
+		st.ListsProbed++
+		n := l.Len()
+		st.PostingsScanned += n
+		w := f.ds.TokenWeight(t)
+		for i := 0; i < n; i++ {
+			f.acc.add(l.Obj(i), w)
+		}
+	}
+	for _, obj := range f.acc.touched {
+		common := f.acc.sum[obj]
+		union := q.TotalWeight + f.ds.TotalWeight(model.ObjectID(obj)) - common
+		if union <= 0 {
+			continue
+		}
+		if common/union >= q.TauT-1e-12 {
+			cs.Add(obj)
+		}
+	}
+}
+
+// SpatialFirst finds the objects with simR ≥ τR through an R-tree overlap
+// search and leaves the textual check to verification.
+type SpatialFirst struct {
+	ds   *model.Dataset
+	tree *rtree.Tree
+}
+
+// NewSpatialFirst bulk-loads an R-tree over all objects of ds.
+func NewSpatialFirst(ds *model.Dataset, fanout int) (*SpatialFirst, error) {
+	entries := make([]rtree.Entry, ds.Len())
+	for i := range entries {
+		entries[i] = rtree.Entry{Rect: ds.Region(model.ObjectID(i)), ID: uint32(i)}
+	}
+	tree, err := rtree.BulkLoad(entries, fanout)
+	if err != nil {
+		return nil, err
+	}
+	return &SpatialFirst{ds: ds, tree: tree}, nil
+}
+
+// Name implements core.Filter.
+func (f *SpatialFirst) Name() string { return "Spatial" }
+
+// SizeBytes implements core.Filter.
+func (f *SpatialFirst) SizeBytes() int64 { return f.tree.SizeBytes() }
+
+// Collect implements core.Filter: every object overlapping q.R is examined
+// (objects with simR ≥ τR > 0 necessarily overlap), and the exact spatial
+// similarity gates candidacy.
+func (f *SpatialFirst) Collect(q *model.Query, cs *core.CandidateSet, st *core.FilterStats) {
+	st.ListsProbed++
+	f.tree.SearchOverlapping(q.Region, func(e rtree.Entry) bool {
+		st.PostingsScanned++
+		if f.ds.SimR(q, model.ObjectID(e.ID)) >= q.TauR-1e-12 {
+			cs.Add(e.ID)
+		}
+		return true
+	})
+}
+
+// Scan is the exhaustive filter: every object is a candidate. It is the
+// correctness oracle for tests and the degenerate baseline for experiments.
+type Scan struct {
+	ds *model.Dataset
+}
+
+// NewScan creates a scan filter over ds.
+func NewScan(ds *model.Dataset) *Scan { return &Scan{ds: ds} }
+
+// Name implements core.Filter.
+func (f *Scan) Name() string { return "Scan" }
+
+// SizeBytes implements core.Filter: a scan needs no index.
+func (f *Scan) SizeBytes() int64 { return 0 }
+
+// Collect implements core.Filter.
+func (f *Scan) Collect(q *model.Query, cs *core.CandidateSet, st *core.FilterStats) {
+	for obj := 0; obj < f.ds.Len(); obj++ {
+		st.PostingsScanned++
+		cs.Add(uint32(obj))
+	}
+}
+
+// accumulator sums per-object weights with epoch-based clearing (a local
+// copy of core's unexported helper; small enough that sharing would couple
+// the packages for no gain).
+type accumulator struct {
+	sum     []float64
+	mark    []uint32
+	epoch   uint32
+	touched []uint32
+}
+
+func newAccumulator(n int) *accumulator {
+	return &accumulator{sum: make([]float64, n), mark: make([]uint32, n)}
+}
+
+func (a *accumulator) reset() {
+	a.epoch++
+	a.touched = a.touched[:0]
+	if a.epoch == 0 {
+		for i := range a.mark {
+			a.mark[i] = 0
+		}
+		a.epoch = 1
+	}
+}
+
+func (a *accumulator) add(obj uint32, w float64) {
+	if a.mark[obj] != a.epoch {
+		a.mark[obj] = a.epoch
+		a.sum[obj] = 0
+		a.touched = append(a.touched, obj)
+	}
+	a.sum[obj] += w
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smokeEnv is shared across tests in this package so datasets and indexes
+// build once.
+var smokeEnvInstance *Env
+
+func smokeEnv(t *testing.T) *Env {
+	t.Helper()
+	if smokeEnvInstance == nil {
+		smokeEnvInstance = NewEnv(SmokeConfig)
+	}
+	return smokeEnvInstance
+}
+
+// TestAllExperimentsRun executes every experiment at smoke scale and checks
+// the output contains the expected structure.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipping in -short mode")
+	}
+	env := smokeEnv(t)
+	for _, exp := range Experiments {
+		exp := exp
+		t.Run(exp.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := exp.Run(&buf, env); err != nil {
+				t.Fatalf("%s failed: %v", exp.Name, err)
+			}
+			out := buf.String()
+			if len(out) < 50 {
+				t.Fatalf("%s produced almost no output:\n%s", exp.Name, out)
+			}
+			if !strings.Contains(out, "#") && !strings.Contains(out, "(") {
+				t.Fatalf("%s output lacks headers:\n%s", exp.Name, out)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig16"); !ok {
+		t.Fatal("fig16 should exist")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown experiment should not resolve")
+	}
+}
+
+func TestEnvValidation(t *testing.T) {
+	env := smokeEnv(t)
+	if _, err := env.Dataset("mars"); err == nil {
+		t.Error("unknown dataset should error")
+	}
+	if _, err := env.Workload("twitter", "medium"); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if _, err := env.Filter("twitter", FilterSpec{Kind: "quantum"}); err == nil {
+		t.Error("unknown filter kind should error")
+	}
+}
+
+func TestFilterCaching(t *testing.T) {
+	env := smokeEnv(t)
+	a, err := env.Filter("twitter", FilterSpec{Kind: "token"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Filter("twitter", FilterSpec{Kind: "token"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("filter not cached")
+	}
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Candidates reports the average candidate-set sizes of every method — the
+// companion data the paper moved to its technical report ("the numbers of
+// candidates of different methods are in our technical report"). Candidate
+// counts explain the elapsed-time figures: verification cost is linear in
+// them, and the methods differ exactly in how many dissimilar objects they
+// fail to prune.
+func Candidates(w io.Writer, env *Env) error {
+	fmt.Fprintln(w, "\n# Candidates: average candidate-set size per method (Twitter)")
+	ds, err := env.Dataset("twitter")
+	if err != nil {
+		return err
+	}
+	specs := []FilterSpec{
+		{Kind: "token"},
+		{Kind: "grid", P: 1024},
+		{Kind: "hybrid", P: 1024},
+		{Kind: "seal"},
+		{Kind: "irtree"},
+		{Kind: "keyword"},
+		{Kind: "spatial"},
+	}
+	for _, kind := range []string{"large", "small"} {
+		queries, err := env.Workload("twitter", kind)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n(%s-region queries, tau_T=0.4, varying tau_R)\n", kind)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "tau_R")
+		filters := make([]filterWithName, 0, len(specs))
+		for _, spec := range specs {
+			f, err := env.Filter("twitter", spec)
+			if err != nil {
+				return err
+			}
+			filters = append(filters, filterWithName{f.Name(), spec})
+			fmt.Fprintf(tw, "\t%s", f.Name())
+		}
+		fmt.Fprint(tw, "\tanswers\n")
+		for _, tau := range thresholds {
+			fmt.Fprintf(tw, "%.1f", tau)
+			var answers float64
+			for i, fw := range filters {
+				f, err := env.Filter("twitter", fw.spec)
+				if err != nil {
+					return err
+				}
+				pt, err := measure(ds, f, queries, tau, defaultTau)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(tw, "\t%.0f", pt.Candidates)
+				if i == 0 {
+					answers = pt.Results
+				}
+			}
+			fmt.Fprintf(tw, "\t%.1f\n", answers)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type filterWithName struct {
+	name string
+	spec FilterSpec
+}

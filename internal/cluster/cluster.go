@@ -1,0 +1,148 @@
+// Package cluster derives multiple active regions from location point
+// clouds — the procedure the paper sketches as future work for user
+// profiles ("we can compute multiple active regions for each user by
+// clustering tweets' locations", Section 6.1). Points are clustered with
+// k-means (k-means++ seeding, deterministic under a fixed seed) and each
+// non-empty cluster contributes the MBR of its points.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/sealdb/seal/internal/geo"
+)
+
+// Point is a 2D location.
+type Point struct {
+	X, Y float64
+}
+
+// maxIterations bounds Lloyd's algorithm; convergence is typically far
+// faster on the small per-user point clouds this package targets.
+const maxIterations = 50
+
+// Regions clusters points into at most k groups and returns the MBR of each
+// non-empty cluster. The result has between 1 and k rectangles; duplicate
+// points collapse naturally. An error is returned for k < 1 or no points.
+func Regions(points []Point, k int, seed int64) (geo.RectSet, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: k=%d must be at least 1", k)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	assign := Assign(points, k, seed)
+	boxes := make(map[int]geo.Rect, k)
+	for i, p := range points {
+		c := assign[i]
+		if box, ok := boxes[c]; ok {
+			boxes[c] = box.Extend(geo.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y})
+		} else {
+			boxes[c] = geo.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+		}
+	}
+	out := make(geo.RectSet, 0, len(boxes))
+	for c := 0; c < k; c++ {
+		if box, ok := boxes[c]; ok {
+			out = append(out, box)
+		}
+	}
+	return out, nil
+}
+
+// Assign runs k-means and returns the cluster index of every point.
+func Assign(points []Point, k int, seed int64) []int {
+	if k >= len(points) {
+		// Each point is its own cluster.
+		out := make([]int, len(points))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	for iter := 0; iter < maxIterations; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				d := sqDist(p, ctr)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centers; empty clusters keep their previous center.
+		var sumX, sumY = make([]float64, k), make([]float64, k)
+		counts := make([]int, k)
+		for i, p := range points {
+			c := assign[i]
+			sumX[c] += p.X
+			sumY[c] += p.Y
+			counts[c]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				centers[c] = Point{X: sumX[c] / float64(counts[c]), Y: sumY[c] / float64(counts[c])}
+			}
+		}
+	}
+	return assign
+}
+
+// seedPlusPlus picks initial centers with k-means++: each next center is
+// drawn with probability proportional to its squared distance from the
+// nearest existing center.
+func seedPlusPlus(points []Point, k int, rng *rand.Rand) []Point {
+	centers := make([]Point, 0, k)
+	centers = append(centers, points[rng.Intn(len(points))])
+	dist := make([]float64, len(points))
+	for len(centers) < k {
+		var total float64
+		for i, p := range points {
+			d := math.Inf(1)
+			for _, c := range centers {
+				if dd := sqDist(p, c); dd < d {
+					d = dd
+				}
+			}
+			dist[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All remaining points coincide with centers; duplicate one.
+			centers = append(centers, centers[0])
+			continue
+		}
+		target := rng.Float64() * total
+		idx := 0
+		for i, d := range dist {
+			target -= d
+			if target <= 0 {
+				idx = i
+				break
+			}
+		}
+		centers = append(centers, points[idx])
+	}
+	return centers
+}
+
+func sqDist(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionsValidation(t *testing.T) {
+	if _, err := Regions(nil, 2, 1); err == nil {
+		t.Error("no points should error")
+	}
+	if _, err := Regions([]Point{{1, 1}}, 0, 1); err == nil {
+		t.Error("k=0 should error")
+	}
+}
+
+func TestSinglePointSingleCluster(t *testing.T) {
+	set, err := Regions([]Point{{3, 4}}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 {
+		t.Fatalf("regions = %v, want one point MBR", set)
+	}
+	if set[0].MinX != 3 || set[0].MaxY != 4 {
+		t.Fatalf("region = %v", set[0])
+	}
+}
+
+func TestKOneIsGlobalMBR(t *testing.T) {
+	pts := []Point{{0, 0}, {10, 2}, {5, 8}}
+	set, err := Regions(pts, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 {
+		t.Fatalf("k=1 should give one region, got %v", set)
+	}
+	r := set[0]
+	if r.MinX != 0 || r.MinY != 0 || r.MaxX != 10 || r.MaxY != 8 {
+		t.Fatalf("global MBR = %v", r)
+	}
+}
+
+// TestRecoverWellSeparatedClusters: two tight, distant blobs must map to two
+// disjoint regions.
+func TestRecoverWellSeparatedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var pts []Point
+	for i := 0; i < 40; i++ {
+		pts = append(pts, Point{rng.Float64() * 5, rng.Float64() * 5})
+	}
+	for i := 0; i < 40; i++ {
+		pts = append(pts, Point{1000 + rng.Float64()*5, 1000 + rng.Float64()*5})
+	}
+	set, err := Regions(pts, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("expected 2 regions, got %d: %v", len(set), set)
+	}
+	if set[0].IntersectionArea(set[1]) > 0 {
+		t.Fatalf("well-separated clusters produced overlapping regions: %v", set)
+	}
+	// The combined area is vastly smaller than the single-MBR alternative.
+	single, err := Regions(pts, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Area() > single.Area()/100 {
+		t.Fatalf("clustered area %v not much smaller than single MBR %v", set.Area(), single.Area())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]Point, 100)
+	for i := range pts {
+		pts[i] = Point{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	a, err := Regions(pts, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Regions(pts, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic region count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic region %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRegionsCoverAllPoints: every input point lies inside some region, and
+// region count never exceeds k.
+func TestRegionsCoverAllPoints(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		k := 1 + rng.Intn(6)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64() * 200, rng.Float64() * 200}
+		}
+		set, err := Regions(pts, k, seed)
+		if err != nil || len(set) == 0 || len(set) > k {
+			return false
+		}
+		for _, p := range pts {
+			inside := false
+			for _, r := range set {
+				if r.ContainsPoint(p.X, p.Y) {
+					inside = true
+					break
+				}
+			}
+			if !inside {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := make([]Point, 20)
+	for i := range pts {
+		pts[i] = Point{1, 2}
+	}
+	set, err := Regions(pts, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range set {
+		if !r.ContainsPoint(1, 2) {
+			t.Fatalf("degenerate region misses the point: %v", r)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package core implements the SEAL method itself (Sections 3–5): the
+// filter-and-verification framework, textual and grid-based signature
+// filters with threshold-aware (prefix) pruning, the hash-based and
+// hierarchical hybrid filters, and grid-granularity selection.
+//
+// Every filter implements the Filter interface: given a compiled query it
+// produces a candidate superset of the answers; the shared Searcher then
+// verifies candidates with exact similarity computations (Sig-Verify).
+// The completeness contract — candidates ⊇ answers for every legal query —
+// is what the property tests in this package enforce against a brute-force
+// oracle.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"github.com/sealdb/seal/internal/model"
+)
+
+// FilterStats counts the work done by one Collect call.
+type FilterStats struct {
+	// ListsProbed is the number of inverted lists examined.
+	ListsProbed int
+	// PostingsScanned is the number of postings examined, including hybrid
+	// postings rejected by their textual bound.
+	PostingsScanned int
+	// Candidates is the number of distinct candidate objects produced.
+	Candidates int
+}
+
+// Filter generates candidate objects whose signatures are similar to the
+// query's (the filter step of Figure 3).
+type Filter interface {
+	// Name identifies the filter in experiment output, e.g. "GridFilter(1024)".
+	Name() string
+	// Collect adds every candidate for q to cs and accounts work in st.
+	// Implementations must guarantee candidates ⊇ exact answers.
+	Collect(q *model.Query, cs *CandidateSet, st *FilterStats)
+	// SizeBytes estimates the filter's index footprint (Table 1).
+	SizeBytes() int64
+}
+
+// CandidateSet is a reusable, allocation-free set of object IDs using
+// epoch-based marking. It is not safe for concurrent use; create one per
+// goroutine.
+type CandidateSet struct {
+	mark  []uint32
+	epoch uint32
+	ids   []uint32
+}
+
+// NewCandidateSet creates a set for datasets of n objects.
+func NewCandidateSet(n int) *CandidateSet {
+	return &CandidateSet{mark: make([]uint32, n), epoch: 0}
+}
+
+// Reset empties the set in O(1).
+func (c *CandidateSet) Reset() {
+	c.epoch++
+	c.ids = c.ids[:0]
+	if c.epoch == 0 { // epoch wrapped: clear marks once every 2^32 resets
+		for i := range c.mark {
+			c.mark[i] = 0
+		}
+		c.epoch = 1
+	}
+}
+
+// Add inserts obj, ignoring duplicates.
+func (c *CandidateSet) Add(obj uint32) {
+	if c.mark[obj] == c.epoch {
+		return
+	}
+	c.mark[obj] = c.epoch
+	c.ids = append(c.ids, obj)
+}
+
+// Contains reports whether obj is in the set.
+func (c *CandidateSet) Contains(obj uint32) bool { return c.mark[obj] == c.epoch }
+
+// Len returns the number of distinct objects added since the last Reset.
+func (c *CandidateSet) Len() int { return len(c.ids) }
+
+// IDs returns the distinct objects in insertion order. The slice is
+// invalidated by the next Reset.
+func (c *CandidateSet) IDs() []uint32 { return c.ids }
+
+// Match is one verified answer with its exact similarities.
+type Match struct {
+	ID   model.ObjectID
+	SimR float64
+	SimT float64
+}
+
+// SearchStats reports one query's cost breakdown, mirroring the
+// filter-time / verification-time split of the paper's Figure 13.
+type SearchStats struct {
+	FilterStats
+	Results    int
+	FilterTime time.Duration
+	VerifyTime time.Duration
+}
+
+// Elapsed returns the total query time.
+func (s SearchStats) Elapsed() time.Duration { return s.FilterTime + s.VerifyTime }
+
+// Searcher runs the two-step SealSig algorithm: filter, then verify.
+// A Searcher reuses internal buffers and is not safe for concurrent use;
+// create one per goroutine (the dataset and filters may be shared).
+type Searcher struct {
+	ds     *model.Dataset
+	filter Filter
+	cs     *CandidateSet
+}
+
+// NewSearcher pairs a dataset with a filter.
+func NewSearcher(ds *model.Dataset, f Filter) *Searcher {
+	return &Searcher{ds: ds, filter: f, cs: NewCandidateSet(ds.Len())}
+}
+
+// Filter returns the searcher's filter.
+func (s *Searcher) Filter() Filter { return s.filter }
+
+// Search answers q: it collects candidates, verifies each against the exact
+// similarity thresholds, and returns matches sorted by object ID.
+func (s *Searcher) Search(q *model.Query) ([]Match, SearchStats) {
+	var st SearchStats
+	start := time.Now()
+	s.cs.Reset()
+	s.filter.Collect(q, s.cs, &st.FilterStats)
+	st.Candidates = s.cs.Len()
+	st.FilterTime = time.Since(start)
+
+	start = time.Now()
+	matches := make([]Match, 0, 16)
+	for _, obj := range s.cs.IDs() {
+		id := model.ObjectID(obj)
+		simR := s.ds.SimR(q, id)
+		if simR < q.TauR {
+			continue
+		}
+		simT := s.ds.SimT(q, id)
+		if simT < q.TauT {
+			continue
+		}
+		matches = append(matches, Match{ID: id, SimR: simR, SimT: simT})
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i].ID < matches[j].ID })
+	st.VerifyTime = time.Since(start)
+	st.Results = len(matches)
+	return matches, st
+}
+
+// Thresholds derives the signature similarity thresholds of the paper:
+// cR = τR·|q.R| (Lemma 1) and cT = τT·Σ_{t∈q.T} w(t) (Section 3.2).
+func Thresholds(q *model.Query) (cR, cT float64) {
+	return q.TauR * q.Area(), q.TauT * q.TotalWeight
+}

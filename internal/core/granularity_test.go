@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/gridsig"
+	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/testutil"
+)
+
+func TestSelectGranularity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds, err := testutil.RandomDataset(rng, 300, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var workload []*model.Query
+	for len(workload) < 20 {
+		q, err := testutil.RandomQuery(rng, ds, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workload = append(workload, q)
+	}
+	res, err := core.SelectGranularity(ds, workload, 7, 0.5, gridsig.DefaultCostModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level < 0 || res.Level > 7 {
+		t.Fatalf("selected level %d outside [0,7]", res.Level)
+	}
+	if res.P != 1<<res.Level {
+		t.Fatalf("P = %d, want 2^%d", res.P, res.Level)
+	}
+	if len(res.Levels) < 2 {
+		t.Fatalf("expected at least two levels evaluated, got %d", len(res.Levels))
+	}
+	// Verification cost (candidates) must shrink monotonically-ish: the
+	// finest evaluated level should produce no more candidates than level 0
+	// (level 0 puts every object touching the space into one cell).
+	first, last := res.Levels[0], res.Levels[len(res.Levels)-1]
+	if last.AvgCandidates > first.AvgCandidates {
+		t.Errorf("candidates grew with granularity: %v -> %v", first.AvgCandidates, last.AvgCandidates)
+	}
+	// The chosen level should not cost more than either endpoint.
+	chosen := res.Levels[res.Level]
+	if chosen.Cost > first.Cost {
+		t.Errorf("chosen level cost %v exceeds level-0 cost %v", chosen.Cost, first.Cost)
+	}
+}
+
+func TestSelectGranularityValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds, err := testutil.RandomDataset(rng, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := testutil.RandomQuery(rng, ds, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.SelectGranularity(ds, nil, 4, 1, gridsig.DefaultCostModel); err == nil {
+		t.Error("empty workload should error")
+	}
+	if _, err := core.SelectGranularity(ds, []*model.Query{q}, -1, 1, gridsig.DefaultCostModel); err == nil {
+		t.Error("negative maxLevel should error")
+	}
+	if _, err := core.SelectGranularity(ds, []*model.Query{q}, 4, 0, gridsig.DefaultCostModel); err == nil {
+		t.Error("zero benefit should error")
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/gridtree"
+	"github.com/sealdb/seal/internal/hss"
+)
+
+// gridLocator answers "which grids of this token's hierarchical partition
+// intersect a rectangle?" without scanning the whole grid set. Grids are
+// grouped by tree level; within a level the partition is a sparse subset of
+// the 2^l × 2^l uniform grid, stored as a sorted node array so lookups are
+// binary searches. For every level the locator enumerates the rectangle's
+// cell range when it is smaller than the level's population, and falls back
+// to scanning the level's grids otherwise, so projection is
+// O(Σ_l min(rangeCells(l), |grids(l)|) · log).
+type gridLocator struct {
+	tree *gridtree.Tree
+	// levels in ascending order; nodes[i]/pos[i] are the level's grids
+	// sorted by NodeID and their positions in the token's global order.
+	levels []int
+	nodes  [][]gridtree.NodeID
+	pos    [][]int32
+	total  int
+}
+
+// gridHit is one projected grid: its position in the token's global order
+// and the clipped area weight.
+type gridHit struct {
+	idx  int32
+	node gridtree.NodeID
+	w    float64
+}
+
+// newGridLocator indexes grids, which must already be in the token's global
+// order (position i = order i).
+func newGridLocator(tree *gridtree.Tree, grids []hss.Grid) *gridLocator {
+	byLevel := map[int][]int32{}
+	for i, g := range grids {
+		l := g.Node.Level()
+		byLevel[l] = append(byLevel[l], int32(i))
+	}
+	loc := &gridLocator{tree: tree, total: len(grids)}
+	for l := 0; l <= tree.MaxLevel; l++ {
+		idxs, ok := byLevel[l]
+		if !ok {
+			continue
+		}
+		sort.Slice(idxs, func(a, b int) bool { return grids[idxs[a]].Node < grids[idxs[b]].Node })
+		nodes := make([]gridtree.NodeID, len(idxs))
+		for j, i := range idxs {
+			nodes[j] = grids[i].Node
+		}
+		loc.levels = append(loc.levels, l)
+		loc.nodes = append(loc.nodes, nodes)
+		loc.pos = append(loc.pos, idxs)
+	}
+	return loc
+}
+
+// project appends the grids sharing positive area with r to out, sorted by
+// global order position.
+func (loc *gridLocator) project(r geo.Rect, out []gridHit) []gridHit {
+	start := len(out)
+	for li, level := range loc.levels {
+		nodes := loc.nodes[li]
+		pos := loc.pos[li]
+		ix0, iy0, ix1, iy1, ok := loc.cellRange(level, r)
+		rangeCells := (ix1 - ix0) * (iy1 - iy0)
+		if !ok {
+			continue
+		}
+		if rangeCells > len(nodes) {
+			// Sparse level: scanning its grids is cheaper.
+			for j, n := range nodes {
+				w := loc.tree.Rect(n).IntersectionArea(r)
+				if w > 0 {
+					out = append(out, gridHit{idx: pos[j], node: n, w: w})
+				}
+			}
+			continue
+		}
+		for iy := iy0; iy < iy1; iy++ {
+			for ix := ix0; ix < ix1; ix++ {
+				n := gridtree.MakeNodeID(level, ix, iy)
+				j := sort.Search(len(nodes), func(k int) bool { return nodes[k] >= n })
+				if j == len(nodes) || nodes[j] != n {
+					continue
+				}
+				w := loc.tree.Rect(n).IntersectionArea(r)
+				if w > 0 {
+					out = append(out, gridHit{idx: pos[j], node: n, w: w})
+				}
+			}
+		}
+	}
+	hits := out[start:]
+	sort.Slice(hits, func(a, b int) bool { return hits[a].idx < hits[b].idx })
+	return out
+}
+
+// cellRange returns the half-open cell index range of r at the given level.
+func (loc *gridLocator) cellRange(level int, r geo.Rect) (ix0, iy0, ix1, iy1 int, ok bool) {
+	space := loc.tree.Space
+	inter, has := r.Intersection(space)
+	if !has || inter.IsDegenerate() {
+		return 0, 0, 0, 0, false
+	}
+	p := 1 << level
+	cw := space.Width() / float64(p)
+	ch := space.Height() / float64(p)
+	ix0 = clampCell(int((inter.MinX-space.MinX)/cw), p)
+	iy0 = clampCell(int((inter.MinY-space.MinY)/ch), p)
+	ix1 = clampCell(int((inter.MaxX-space.MinX)/cw)+1, p+1)
+	iy1 = clampCell(int((inter.MaxY-space.MinY)/ch)+1, p+1)
+	if ix0 >= ix1 || iy0 >= iy1 {
+		return 0, 0, 0, 0, false
+	}
+	return ix0, iy0, ix1, iy1, true
+}
+
+func clampCell(v, hi int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= hi {
+		return hi - 1
+	}
+	return v
+}
+
+// sizeBytes estimates the locator's footprint.
+func (loc *gridLocator) sizeBytes() int64 {
+	var n int64
+	for i := range loc.nodes {
+		n += int64(len(loc.nodes[i])) * 8
+	}
+	return n + int64(len(loc.levels))*56
+}

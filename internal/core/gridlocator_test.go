@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/gridtree"
+	"github.com/sealdb/seal/internal/hss"
+)
+
+// buildLocator selects grids for a random region set and wraps them in a
+// locator, returning both for cross-checking.
+func buildLocator(t testingT, seed int64) (*gridtree.Tree, []hss.Grid, *gridLocator, []geo.Rect) {
+	rng := rand.New(rand.NewSource(seed))
+	tree, err := gridtree.New(geo.Rect{MinX: 0, MinY: 0, MaxX: 1024, MaxY: 1024}, 6)
+	if err != nil {
+		t.Fatalf("tree: %v", err)
+	}
+	n := 1 + rng.Intn(25)
+	rects := make([]geo.Rect, 0, n)
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		rects = append(rects, geo.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*80 + 0.5, MaxY: y + rng.Float64()*80 + 0.5})
+	}
+	grids, err := hss.Select(tree, rects, 1+rng.Intn(40))
+	if err != nil {
+		t.Fatalf("hss: %v", err)
+	}
+	sortHierGrids(grids, HierOrderLevel)
+	return tree, grids, newGridLocator(tree, grids), rects
+}
+
+type testingT interface {
+	Fatalf(format string, args ...any)
+}
+
+// TestLocatorMatchesLinearScan: projection through the per-level index must
+// agree exactly (grids, order, weights) with a brute-force scan of the grid
+// set, for query rectangles of every size.
+func TestLocatorMatchesLinearScan(t *testing.T) {
+	f := func(seed int64) bool {
+		tree, grids, loc, _ := buildLocator(t, seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x5ea1))
+		for trial := 0; trial < 10; trial++ {
+			var q geo.Rect
+			switch trial % 3 {
+			case 0: // tiny
+				x, y := rng.Float64()*1000, rng.Float64()*1000
+				q = geo.Rect{MinX: x, MinY: y, MaxX: x + 2, MaxY: y + 2}
+			case 1: // medium
+				x, y := rng.Float64()*900, rng.Float64()*900
+				q = geo.Rect{MinX: x, MinY: y, MaxX: x + 150, MaxY: y + 150}
+			default: // covers everything (forces the scan fallback)
+				q = geo.Rect{MinX: -10, MinY: -10, MaxX: 2000, MaxY: 2000}
+			}
+			got := loc.project(q, nil)
+			// Brute force over the grid slice.
+			type hit struct {
+				idx int32
+				w   float64
+			}
+			var want []hit
+			for i, g := range grids {
+				w := tree.Rect(g.Node).IntersectionArea(q)
+				if w > 0 {
+					want = append(want, hit{int32(i), w})
+				}
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i].idx != want[i].idx || math.Abs(got[i].w-want[i].w) > 1e-9 {
+					return false
+				}
+				if grids[got[i].idx].Node != got[i].node {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocatorEmptyProjection(t *testing.T) {
+	_, _, loc, _ := buildLocator(t, 5)
+	if hits := loc.project(geo.Rect{MinX: 5000, MinY: 5000, MaxX: 6000, MaxY: 6000}, nil); len(hits) != 0 {
+		t.Fatalf("projection outside the space = %v, want empty", hits)
+	}
+	if loc.sizeBytes() <= 0 {
+		t.Fatal("locator size should be positive")
+	}
+}

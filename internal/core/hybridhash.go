@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/sealdb/seal/internal/gridsig"
+	"github.com/sealdb/seal/internal/invidx"
+	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/text"
+)
+
+// HybridHashFilter is algorithm Hybrid-Sig-Filter+ with hash-based hybrid
+// signatures (Section 5.1, Definition 5): the signature elements are
+// (token, cell) pairs hashed into at most Buckets buckets; each posting
+// carries both the textual bound c^T_h(o) and the spatial bound c^R_h(o),
+// so a single probe applies textual and spatial pruning simultaneously.
+type HybridHashFilter struct {
+	ds      *model.Dataset
+	grid    *gridsig.Grid
+	counter *gridsig.Counter
+	idx     *invidx.DualIndex
+	buckets uint64
+}
+
+// NewHybridHashFilter indexes ds on a p×p grid. buckets limits the number of
+// hash buckets (the index-size constraint of Section 5.1); buckets <= 0
+// disables hashing and keys lists by the exact (token, cell) pair.
+func NewHybridHashFilter(ds *model.Dataset, p int, buckets int) (*HybridHashFilter, error) {
+	grid, err := gridsig.New(ds.Space(), p)
+	if err != nil {
+		return nil, err
+	}
+	counter := gridsig.NewCounter(grid)
+	for obj := 0; obj < ds.Len(); obj++ {
+		counter.AddRegion(ds.Region(model.ObjectID(obj)))
+	}
+	f := &HybridHashFilter{ds: ds, grid: grid, counter: counter}
+	if buckets > 0 {
+		f.buckets = uint64(buckets)
+	}
+
+	vocab := ds.Vocab()
+	var b invidx.DualBuilder
+	var tsig []text.TokenID
+	var tW, tB []float64
+	var gsig []gridsig.CellWeight
+	var gW, gB []float64
+	for obj := 0; obj < ds.Len(); obj++ {
+		id := model.ObjectID(obj)
+		tsig = append(tsig[:0], ds.Tokens(id)...)
+		vocab.SortBySignatureOrder(tsig)
+		tW = tW[:0]
+		for _, t := range tsig {
+			tW = append(tW, ds.TokenWeight(t))
+		}
+		tB = append(tB[:0], tW...)
+		invidx.SuffixBounds(tW, tB)
+
+		gsig = grid.Signature(ds.Region(id), gsig[:0])
+		counter.SortSignature(gsig)
+		gW = gW[:0]
+		for _, cw := range gsig {
+			gW = append(gW, cw.W)
+		}
+		gB = append(gB[:0], gW...)
+		invidx.SuffixBounds(gW, gB)
+
+		for i, t := range tsig {
+			for j, cw := range gsig {
+				b.Add(f.key(t, cw.Cell), uint32(obj), gB[j], tB[i])
+			}
+		}
+	}
+	f.idx = b.Build()
+	return f, nil
+}
+
+// key maps a (token, cell) pair to its bucket.
+func (f *HybridHashFilter) key(t text.TokenID, cell uint32) uint64 {
+	k := uint64(t)<<32 | uint64(cell)
+	if f.buckets == 0 {
+		return k
+	}
+	return fnv64(k) % f.buckets
+}
+
+// fnv64 hashes a 64-bit value with FNV-1a over its bytes.
+func fnv64(v uint64) uint64 {
+	const offset = 14695981039346656037
+	const prime = 1099511628211
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}
+
+// Name implements Filter.
+func (f *HybridHashFilter) Name() string {
+	if f.buckets > 0 {
+		return fmt.Sprintf("HybridFilter(%d,b=%d)", f.grid.P, f.buckets)
+	}
+	return fmt.Sprintf("HybridFilter(%d)", f.grid.P)
+}
+
+// SizeBytes implements Filter.
+func (f *HybridHashFilter) SizeBytes() int64 { return f.idx.SizeBytes() }
+
+// Postings returns the number of hybrid postings (Table 1 statistics).
+func (f *HybridHashFilter) Postings() int { return f.idx.Postings() }
+
+// Granularity returns the grid parameter P.
+func (f *HybridHashFilter) Granularity() int { return f.grid.P }
+
+// Collect implements Filter. Correctness follows from composing the textual
+// and spatial prefix arguments: a true answer o shares its first common
+// token t* with the query inside both token prefixes and its first common
+// cell g* inside both grid prefixes, so probing bucket h(t*, g*) with both
+// bounds retrieves o.
+func (f *HybridHashFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterStats) {
+	cR, cT := Thresholds(q)
+	if cR <= 0 || cT <= 0 {
+		return
+	}
+	// Textual prefix.
+	tsig := make([]text.TokenID, len(q.Tokens))
+	copy(tsig, q.Tokens)
+	f.ds.Vocab().SortBySignatureOrder(tsig)
+	tW := make([]float64, len(tsig))
+	for i, t := range tsig {
+		tW[i] = f.ds.TokenWeight(t)
+	}
+	pT := invidx.PrefixLen(tW, cT)
+	// Spatial prefix.
+	gsig := f.grid.Signature(q.Region, nil)
+	f.counter.SortSignature(gsig)
+	gW := make([]float64, len(gsig))
+	for i, cw := range gsig {
+		gW[i] = cw.W
+	}
+	pR := invidx.PrefixLen(gW, cR)
+
+	slackR, slackT := invidx.Slack(cR), invidx.Slack(cT)
+	for _, t := range tsig[:pT] {
+		for _, cw := range gsig[:pR] {
+			l := f.idx.List(f.key(t, cw.Cell))
+			if l == nil {
+				continue
+			}
+			st.ListsProbed++
+			st.PostingsScanned += l.Scan(slackR, slackT, cs.Add)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/gridtree"
+	"github.com/sealdb/seal/internal/hss"
+	"github.com/sealdb/seal/internal/invidx"
+	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/text"
+)
+
+// HierarchicalFilter is the full SEAL filter: Hybrid-Sig-Filter+ over
+// hierarchical hybrid signatures (Section 5.2). For every token t the
+// HSS-Greedy algorithm selects at most GridBudget hierarchical grids from a
+// grid tree, sized to the spatial distribution of the objects containing t;
+// hybrid elements are (t, grid) pairs with dual threshold bounds. Rare
+// tokens get coarse grids (their lists are short anyway), dense tokens get
+// fine grids where their objects cluster — the judicious selection the
+// paper credits for SEAL's headline performance.
+type HierarchicalFilter struct {
+	ds   *model.Dataset
+	tree *gridtree.Tree
+	// tokenLoc[t] locates t's selected grids (in the token's global order:
+	// ascending level, then ascending count, then node ID); nil for tokens
+	// absent from the corpus.
+	tokenLoc []*gridLocator
+	idx      *invidx.DualIndex
+	budget   int
+}
+
+// HierarchicalConfig parameterizes NewHierarchicalFilter.
+type HierarchicalConfig struct {
+	// MaxLevel is the grid-tree depth; level l partitions the space into
+	// 2^l × 2^l grids. The finest level bounds signature precision.
+	MaxLevel int
+	// GridBudget is the average m_t: the per-token grid budgets are
+	// allocated proportionally to each token's posting-list length, so that
+	// Σ_t m_t ≈ GridBudget × #tokens (the index-size constraint of the HSS
+	// problem). Frequent tokens — whose objects spread over many regions —
+	// receive large budgets and refine deeply; rare tokens stay coarse,
+	// which costs nothing because their lists are short anyway.
+	GridBudget int
+	// Order selects the global order of each token's grids; the zero value
+	// is the paper's level-first order.
+	Order HierOrder
+}
+
+// DefaultHierarchicalConfig uses finest grids below the uniform 1024
+// granularity (level 12 = 4096², so hot clusters refine past it) and an
+// average per-token budget balancing index size against filtering power.
+var DefaultHierarchicalConfig = HierarchicalConfig{MaxLevel: 12, GridBudget: 8}
+
+// budget caps keeping a single token's HSS run tractable.
+const (
+	minTokenBudget = 1
+	maxTokenBudget = 8192
+)
+
+// NewHierarchicalFilter builds the SEAL index over ds.
+func NewHierarchicalFilter(ds *model.Dataset, cfg HierarchicalConfig) (*HierarchicalFilter, error) {
+	if cfg.MaxLevel <= 0 {
+		cfg.MaxLevel = DefaultHierarchicalConfig.MaxLevel
+	}
+	if cfg.GridBudget <= 0 {
+		cfg.GridBudget = DefaultHierarchicalConfig.GridBudget
+	}
+	tree, err := gridtree.New(ds.Space(), cfg.MaxLevel)
+	if err != nil {
+		return nil, err
+	}
+	f := &HierarchicalFilter{ds: ds, tree: tree, budget: cfg.GridBudget}
+
+	// Token-major posting accumulation: I(t) with each object's textual
+	// bound c^T_t(o) (suffix weight at t's position in o's ordered tokens).
+	vocab := ds.Vocab()
+	type tokenPosting struct {
+		obj    uint32
+		tBound float64
+	}
+	perToken := make([][]tokenPosting, vocab.Len())
+	var tsig []text.TokenID
+	var tW, tB []float64
+	for obj := 0; obj < ds.Len(); obj++ {
+		id := model.ObjectID(obj)
+		tsig = append(tsig[:0], ds.Tokens(id)...)
+		vocab.SortBySignatureOrder(tsig)
+		tW = tW[:0]
+		for _, t := range tsig {
+			tW = append(tW, ds.TokenWeight(t))
+		}
+		tB = append(tB[:0], tW...)
+		invidx.SuffixBounds(tW, tB)
+		for i, t := range tsig {
+			perToken[t] = append(perToken[t], tokenPosting{obj: uint32(obj), tBound: tB[i]})
+		}
+	}
+
+	// Distribute the global element budget over tokens proportionally to
+	// their posting counts: m_t = GridBudget · |I(t)| / mean|I(t)|.
+	var totalPostings, presentTokens int
+	for t := range perToken {
+		if n := len(perToken[t]); n > 0 {
+			totalPostings += n
+			presentTokens++
+		}
+	}
+	meanPostings := float64(totalPostings) / float64(presentTokens)
+
+	// Tokens are independent, so HSS selection and per-object signature
+	// generation fan out across CPUs; postings are merged single-threaded
+	// afterwards, keeping the index bit-for-bit deterministic.
+	f.tokenLoc = make([]*gridLocator, vocab.Len())
+	type tokenResult struct {
+		loc      *gridLocator
+		postings []invidx.DualPosting
+		keys     []uint64
+		err      error
+	}
+	results := make([]tokenResult, vocab.Len())
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var rects []geo.Rect
+			var gW, gB []float64
+			var hits []gridHit
+			for t := range next {
+				postings := perToken[t]
+				mt := int(float64(cfg.GridBudget) * float64(len(postings)) / meanPostings)
+				if mt < minTokenBudget {
+					mt = minTokenBudget
+				}
+				if mt > maxTokenBudget {
+					mt = maxTokenBudget
+				}
+				rects = rects[:0]
+				for _, p := range postings {
+					rects = append(rects, ds.Region(model.ObjectID(p.obj)))
+				}
+				grids, err := hss.Select(tree, rects, mt)
+				if err != nil {
+					results[t].err = fmt.Errorf("core: HSS for token %d: %w", t, err)
+					continue
+				}
+				if len(grids) == 0 {
+					continue
+				}
+				sortHierGrids(grids, cfg.Order)
+				loc := newGridLocator(tree, grids)
+				res := tokenResult{loc: loc}
+
+				// Per-object spatial signature over this token's grid set.
+				for _, p := range postings {
+					region := ds.Region(model.ObjectID(p.obj))
+					hits = loc.project(region, hits[:0])
+					gW = gW[:0]
+					for _, h := range hits {
+						gW = append(gW, h.w)
+					}
+					gB = append(gB[:0], gW...)
+					invidx.SuffixBounds(gW, gB)
+					for j, h := range hits {
+						res.keys = append(res.keys, hierKey(text.TokenID(t), h.node))
+						res.postings = append(res.postings, invidx.DualPosting{
+							Obj: p.obj, RBound: gB[j], TBound: p.tBound,
+						})
+					}
+				}
+				results[t] = res
+			}
+		}()
+	}
+	for t := range perToken {
+		if len(perToken[t]) > 0 {
+			next <- t
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	var b invidx.DualBuilder
+	for t := range results {
+		res := &results[t]
+		if res.err != nil {
+			return nil, res.err
+		}
+		if res.loc == nil {
+			continue
+		}
+		f.tokenLoc[t] = res.loc
+		for i, key := range res.keys {
+			p := res.postings[i]
+			b.Add(key, p.Obj, p.RBound, p.TBound)
+		}
+		res.keys, res.postings = nil, nil
+	}
+	f.idx = b.Build()
+	return f, nil
+}
+
+// hierOrder selects the global order of a token's hierarchical grids.
+// The paper prescribes ascending level then ascending count (Section 5.2)
+// but leaves order tuning as future work; hierOrderCount is the
+// rare-elements-first order that standard prefix filtering favors.
+type HierOrder int
+
+const (
+	HierOrderLevel HierOrder = iota // level asc, count asc (paper's text)
+	HierOrderCount                  // count asc, level asc (rare first)
+)
+
+// sortHierGrids applies the global order of hierarchical grids.
+func sortHierGrids(grids []hss.Grid, ord HierOrder) {
+	sort.Slice(grids, func(i, j int) bool {
+		a, b := grids[i], grids[j]
+		switch ord {
+		case HierOrderCount:
+			if a.Count != b.Count {
+				return a.Count < b.Count
+			}
+			if a.Node.Level() != b.Node.Level() {
+				return a.Node.Level() < b.Node.Level()
+			}
+		default:
+			if a.Node.Level() != b.Node.Level() {
+				return a.Node.Level() < b.Node.Level()
+			}
+			if a.Count != b.Count {
+				return a.Count < b.Count
+			}
+		}
+		return a.Node < b.Node
+	})
+}
+
+// hierKey packs a (token, grid node) hybrid element into a map key.
+func hierKey(t text.TokenID, n gridtree.NodeID) uint64 {
+	return uint64(t)<<32 | uint64(n)
+}
+
+// Name implements Filter.
+func (f *HierarchicalFilter) Name() string { return "Seal" }
+
+// SizeBytes implements Filter: the posting lists plus the per-token grid
+// directories.
+func (f *HierarchicalFilter) SizeBytes() int64 {
+	size := f.idx.SizeBytes()
+	for _, loc := range f.tokenLoc {
+		if loc != nil {
+			size += loc.sizeBytes()
+		}
+	}
+	return size
+}
+
+// Postings returns the number of hybrid postings (Table 1 statistics).
+func (f *HierarchicalFilter) Postings() int { return f.idx.Postings() }
+
+// Budget returns the per-token grid budget m_t.
+func (f *HierarchicalFilter) Budget() int { return f.budget }
+
+// Collect implements Filter. For each token in the query's textual prefix,
+// the query is projected onto that token's hierarchical grid set, a spatial
+// prefix is selected there (the grids are already in the global order), and
+// the (token, grid) lists are probed with both bounds.
+func (f *HierarchicalFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterStats) {
+	cR, cT := Thresholds(q)
+	if cR <= 0 || cT <= 0 {
+		return
+	}
+	tsig := make([]text.TokenID, len(q.Tokens))
+	copy(tsig, q.Tokens)
+	f.ds.Vocab().SortBySignatureOrder(tsig)
+	tW := make([]float64, len(tsig))
+	for i, t := range tsig {
+		tW[i] = f.ds.TokenWeight(t)
+	}
+	pT := invidx.PrefixLen(tW, cT)
+	slackR, slackT := invidx.Slack(cR), invidx.Slack(cT)
+
+	var gW []float64
+	var hits []gridHit
+	for _, t := range tsig[:pT] {
+		loc := f.tokenLoc[t]
+		if loc == nil {
+			continue
+		}
+		hits = loc.project(q.Region, hits[:0])
+		gW = gW[:0]
+		for _, h := range hits {
+			gW = append(gW, h.w)
+		}
+		pR := invidx.PrefixLen(gW, cR)
+		for _, h := range hits[:pR] {
+			l := f.idx.List(hierKey(t, h.node))
+			if l == nil {
+				continue
+			}
+			st.ListsProbed++
+			st.PostingsScanned += l.Scan(slackR, slackT, cs.Add)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"github.com/sealdb/seal/internal/invidx"
+	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/text"
+)
+
+// TokenFilter is algorithm Sig-Filter+ over textual signatures
+// (Sections 3.2 and 4.2): one inverted list per token, postings carry the
+// Lemma 3 suffix-weight bounds in the global token order (descending idf),
+// and queries probe only their signature prefix with a per-list cutoff.
+type TokenFilter struct {
+	ds  *model.Dataset
+	idx *invidx.Index
+}
+
+// NewTokenFilter indexes all objects of ds.
+func NewTokenFilter(ds *model.Dataset) *TokenFilter {
+	vocab := ds.Vocab()
+	var b invidx.Builder
+	var sig []text.TokenID
+	var weights, bounds []float64
+	for obj := 0; obj < ds.Len(); obj++ {
+		tokens := ds.Tokens(model.ObjectID(obj))
+		sig = append(sig[:0], tokens...)
+		vocab.SortBySignatureOrder(sig)
+		weights = weights[:0]
+		for _, t := range sig {
+			weights = append(weights, ds.TokenWeight(t))
+		}
+		bounds = append(bounds[:0], weights...)
+		invidx.SuffixBounds(weights, bounds)
+		for i, t := range sig {
+			b.Add(uint64(t), uint32(obj), bounds[i])
+		}
+	}
+	return &TokenFilter{ds: ds, idx: b.Build()}
+}
+
+// Name implements Filter.
+func (f *TokenFilter) Name() string { return "TokenFilter" }
+
+// Index exposes the underlying posting lists so they can be persisted
+// (diskidx mirrors the paper's disk-resident deployment).
+func (f *TokenFilter) Index() *invidx.Index { return f.idx }
+
+// SizeBytes implements Filter.
+func (f *TokenFilter) SizeBytes() int64 { return f.idx.SizeBytes() }
+
+// Postings returns the number of postings in the index (Table 1 statistics).
+func (f *TokenFilter) Postings() int { return f.idx.Postings() }
+
+// Collect implements Filter. Objects can reach textual similarity τT only if
+// the weight of their tokens shared with the query is at least
+// cT = τT · Σ_{t∈q.T} w(t); prefix filtering retrieves exactly the objects
+// that share a prefix element with the query's prefix.
+func (f *TokenFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterStats) {
+	_, cT := Thresholds(q)
+	if cT <= 0 {
+		return
+	}
+	sig := make([]text.TokenID, len(q.Tokens))
+	copy(sig, q.Tokens)
+	f.ds.Vocab().SortBySignatureOrder(sig)
+	weights := make([]float64, len(sig))
+	for i, t := range sig {
+		weights[i] = f.ds.TokenWeight(t)
+	}
+	p := invidx.PrefixLen(weights, cT)
+	slack := invidx.Slack(cT)
+	for _, t := range sig[:p] {
+		l := f.idx.List(uint64(t))
+		if l == nil {
+			continue
+		}
+		st.ListsProbed++
+		n := l.Cutoff(slack)
+		st.PostingsScanned += n
+		for _, obj := range l.Objs(n) {
+			cs.Add(obj)
+		}
+	}
+}
+
+// PlainTokenFilter is the baseline Sig-Filter of Figure 3 over textual
+// signatures: it probes the full inverted list of every query token,
+// accumulates the exact signature similarity Σ_{t∈S(q)∩S(o)} w(t), and keeps
+// the objects reaching cT. It exists to quantify what threshold-aware
+// pruning buys (and as a tight reference in tests: its candidates are a
+// subset of TokenFilter's, and still a superset of the answers).
+type PlainTokenFilter struct {
+	ds  *model.Dataset
+	idx *invidx.Index
+	acc *weightAccumulator
+}
+
+// NewPlainTokenFilter indexes all objects of ds with plain token lists.
+func NewPlainTokenFilter(ds *model.Dataset) *PlainTokenFilter {
+	var b invidx.Builder
+	for obj := 0; obj < ds.Len(); obj++ {
+		for _, t := range ds.Tokens(model.ObjectID(obj)) {
+			b.Add(uint64(t), uint32(obj), ds.TokenWeight(t))
+		}
+	}
+	return &PlainTokenFilter{ds: ds, idx: b.Build(), acc: newWeightAccumulator(ds.Len())}
+}
+
+// Name implements Filter.
+func (f *PlainTokenFilter) Name() string { return "PlainTokenFilter" }
+
+// SizeBytes implements Filter.
+func (f *PlainTokenFilter) SizeBytes() int64 { return f.idx.SizeBytes() }
+
+// Collect implements Filter.
+func (f *PlainTokenFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterStats) {
+	_, cT := Thresholds(q)
+	if cT <= 0 {
+		return
+	}
+	f.acc.reset()
+	for _, t := range q.Tokens {
+		l := f.idx.List(uint64(t))
+		if l == nil {
+			continue
+		}
+		st.ListsProbed++
+		n := l.Len()
+		st.PostingsScanned += n
+		w := f.ds.TokenWeight(t)
+		for i := 0; i < n; i++ {
+			f.acc.add(l.Obj(i), w)
+		}
+	}
+	slack := invidx.Slack(cT)
+	for _, obj := range f.acc.touched {
+		if f.acc.sum[obj] >= slack {
+			cs.Add(obj)
+		}
+	}
+}
+
+// weightAccumulator sums per-object weights with epoch-based clearing.
+type weightAccumulator struct {
+	sum     []float64
+	mark    []uint32
+	epoch   uint32
+	touched []uint32
+}
+
+func newWeightAccumulator(n int) *weightAccumulator {
+	return &weightAccumulator{sum: make([]float64, n), mark: make([]uint32, n)}
+}
+
+func (a *weightAccumulator) reset() {
+	a.epoch++
+	a.touched = a.touched[:0]
+	if a.epoch == 0 {
+		for i := range a.mark {
+			a.mark[i] = 0
+		}
+		a.epoch = 1
+	}
+}
+
+func (a *weightAccumulator) add(obj uint32, w float64) {
+	if a.mark[obj] != a.epoch {
+		a.mark[obj] = a.epoch
+		a.sum[obj] = 0
+		a.touched = append(a.touched, obj)
+	}
+	a.sum[obj] += w
+}

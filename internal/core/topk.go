@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/model"
+)
+
+// Top-k spatio-textual similarity search: instead of fixed thresholds, the
+// caller asks for the k objects maximizing a combined score
+//
+//	score(o) = Alpha·simR(q,o) + (1−Alpha)·simT(q,o),
+//
+// subject to minimum floors on both similarities. The paper's query model is
+// threshold-based; this extension reuses the same complete filters through
+// threshold descent: the sets A_s = {o : score ≥ s, sims ≥ floors} are
+// retrieved exactly for geometrically decreasing s, because score ≥ s
+// implies simR ≥ (s−(1−Alpha))/Alpha and simT ≥ (s−Alpha)/(1−Alpha), both
+// valid filter thresholds. The descent stops as soon as |A_s| ≥ k — at that
+// point every higher-scoring object is already in A_s — or when both derived
+// thresholds saturate at the floors.
+
+// TopKOptions parameterizes a top-k search.
+type TopKOptions struct {
+	// K is the number of results wanted (fewer may exist).
+	K int
+	// Alpha weighs the spatial similarity in the combined score; 1−Alpha
+	// weighs the textual one. Must lie in [0, 1].
+	Alpha float64
+	// FloorR and FloorT are the minimum similarities an object must reach
+	// to be ranked at all. They must be positive: objects with zero spatial
+	// overlap (or zero shared token weight) are indistinguishable from each
+	// other and cannot be ranked meaningfully by a similarity search.
+	// Zero values default to 0.05.
+	FloorR, FloorT float64
+}
+
+// ScoredMatch is one top-k result.
+type ScoredMatch struct {
+	ID    model.ObjectID
+	SimR  float64
+	SimT  float64
+	Score float64
+}
+
+// TopK runs top-k search over the searcher's filter.
+func (s *Searcher) TopK(region geo.Rect, terms []string, opts TopKOptions) ([]ScoredMatch, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("core: top-k needs K >= 1, got %d", opts.K)
+	}
+	if opts.Alpha < 0 || opts.Alpha > 1 {
+		return nil, fmt.Errorf("core: alpha %g outside [0,1]", opts.Alpha)
+	}
+	if opts.FloorR == 0 {
+		opts.FloorR = 0.05
+	}
+	if opts.FloorT == 0 {
+		opts.FloorT = 0.05
+	}
+	if opts.FloorR < 0 || opts.FloorR > 1 || opts.FloorT < 0 || opts.FloorT > 1 {
+		return nil, fmt.Errorf("core: floors (%g, %g) outside (0,1]", opts.FloorR, opts.FloorT)
+	}
+
+	for score := 1.0; ; score /= 2 {
+		tauR := thresholdFor(score, opts.Alpha, opts.FloorR)
+		tauT := thresholdFor(score, 1-opts.Alpha, opts.FloorT)
+		q, err := s.ds.NewQuery(region, terms, tauR, tauT)
+		if err != nil {
+			return nil, err
+		}
+		matches, _ := s.Search(q)
+		ranked, complete := rankMatches(matches, opts, score)
+		// Entries with score ≥ the current line are provably the best ones
+		// overall; entries below the line may have unseen peers unless the
+		// thresholds have saturated at the floors (then the search returned
+		// every eligible object).
+		if complete >= opts.K {
+			return ranked[:opts.K], nil
+		}
+		if tauR == opts.FloorR && tauT == opts.FloorT {
+			if len(ranked) > opts.K {
+				ranked = ranked[:opts.K]
+			}
+			return ranked, nil
+		}
+	}
+}
+
+// thresholdFor derives the similarity threshold implied by a score target:
+// weight·sim + (1−weight)·1 ≥ score must hold for any object reaching the
+// score, so sim ≥ (score − (1−weight)) / weight, floored.
+func thresholdFor(score, weight, floor float64) float64 {
+	if weight <= 0 {
+		return floor
+	}
+	tau := (score - (1 - weight)) / weight
+	if tau < floor {
+		return floor
+	}
+	if tau > 1 {
+		return 1
+	}
+	return tau
+}
+
+// rankMatches scores and sorts the matches (descending score, ties by ID)
+// and returns the sorted list plus the count of entries at or above the
+// current score line — the prefix that is provably complete.
+func rankMatches(matches []Match, opts TopKOptions, minScore float64) ([]ScoredMatch, int) {
+	out := make([]ScoredMatch, 0, len(matches))
+	for _, m := range matches {
+		sc := opts.Alpha*m.SimR + (1-opts.Alpha)*m.SimT
+		out = append(out, ScoredMatch{ID: m.ID, SimR: m.SimR, SimT: m.SimT, Score: sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	complete := 0
+	for complete < len(out) && out[complete].Score >= minScore-1e-12 {
+		complete++
+	}
+	return out, complete
+}

@@ -1,0 +1,199 @@
+package diskidx
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"github.com/sealdb/seal/internal/invidx"
+)
+
+func buildSingle(rng *rand.Rand, lists, maxLen int) *invidx.Index {
+	var b invidx.Builder
+	for k := 0; k < lists; k++ {
+		n := 1 + rng.Intn(maxLen)
+		for i := 0; i < n; i++ {
+			b.Add(uint64(k*7+1), uint32(rng.Intn(10000)), float64(rng.Intn(1000))/10)
+		}
+	}
+	return b.Build()
+}
+
+func TestSingleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	idx := buildSingle(rng, 50, 200)
+	path := filepath.Join(t.TempDir(), "tok.idx")
+	if err := Save(path, idx); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Dual() {
+		t.Fatal("single index reported dual")
+	}
+	if r.Lists() != idx.Lists() {
+		t.Fatalf("lists = %d, want %d", r.Lists(), idx.Lists())
+	}
+	// Every key and threshold must agree with the in-memory cutoff.
+	idx.Range(func(key uint64, l *invidx.List) bool {
+		for _, c := range []float64{0, 5, 37.2, 99.9, 1000} {
+			want := make([]uint32, 0)
+			n := l.Cutoff(c)
+			want = append(want, l.Objs(n)...)
+			got, err := r.Probe(key, c)
+			if err != nil {
+				t.Fatalf("Probe(%d, %g): %v", key, c, err)
+			}
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if len(got) != len(want) {
+				t.Fatalf("key %d c=%g: %d objs, want %d", key, c, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("key %d c=%g: mismatch at %d", key, c, i)
+				}
+			}
+		}
+		return true
+	})
+	// Missing key.
+	if objs, err := r.Probe(999999, 0); err != nil || len(objs) != 0 {
+		t.Fatalf("missing key: %v, %v", objs, err)
+	}
+	// Wrong probe flavour.
+	if _, err := r.ProbeDual(1, 0, 0); err == nil {
+		t.Fatal("ProbeDual on single index should error")
+	}
+}
+
+func TestDualRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var b invidx.DualBuilder
+	for k := 0; k < 30; k++ {
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			b.Add(uint64(k), uint32(rng.Intn(5000)), float64(rng.Intn(500)), float64(rng.Intn(50))/10)
+		}
+	}
+	idx := b.Build()
+	path := filepath.Join(t.TempDir(), "hyb.idx")
+	if err := SaveDual(path, idx); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.Dual() {
+		t.Fatal("dual index not flagged")
+	}
+	idx.Range(func(key uint64, l *invidx.DualList) bool {
+		for _, cr := range []float64{0, 100, 350} {
+			for _, ct := range []float64{0, 2.5, 4.9} {
+				var want []uint32
+				l.Scan(cr, ct, func(obj uint32) { want = append(want, obj) })
+				got, err := r.ProbeDual(key, cr, ct)
+				if err != nil {
+					t.Fatalf("ProbeDual: %v", err)
+				}
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				if len(got) != len(want) {
+					t.Fatalf("key %d (%g,%g): %d objs, want %d", key, cr, ct, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("key %d: mismatch", key)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if _, err := r.Probe(0, 0); err == nil {
+		t.Fatal("Probe on dual index should error")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	idx := buildSingle(rng, 5, 50)
+	path := filepath.Join(t.TempDir(), "bad.idx")
+	if err := Save(path, idx); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte near the end of the file.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	sawCorrupt := false
+	idx.Range(func(key uint64, l *invidx.List) bool {
+		if _, err := r.Probe(key, 0); errors.Is(err, ErrCorrupt) {
+			sawCorrupt = true
+			return false
+		}
+		return true
+	})
+	if !sawCorrupt {
+		t.Fatal("flipped byte not detected by any probe")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.idx")
+	if err := os.WriteFile(path, []byte("not an index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage open = %v, want ErrCorrupt", err)
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.idx")); err == nil {
+		t.Fatal("missing file should error")
+	}
+	// Truncated file: header promises lists that are absent.
+	trunc := filepath.Join(t.TempDir(), "trunc.idx")
+	data := append([]byte{}, magic[:]...)
+	data = append(data, 0)          // flags
+	data = append(data, 9, 0, 0, 0) // count=9, but no lists follow
+	if err := os.WriteFile(trunc, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(trunc); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated open = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	var b invidx.Builder
+	idx := b.Build()
+	path := filepath.Join(t.TempDir(), "empty.idx")
+	if err := Save(path, idx); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Lists() != 0 {
+		t.Fatalf("lists = %d, want 0", r.Lists())
+	}
+}

@@ -1,0 +1,96 @@
+package diskidx
+
+import (
+	"fmt"
+
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/invidx"
+	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/text"
+)
+
+// TokenFilter is the disk-resident variant of core.TokenFilter: the paper's
+// deployment, where posting lists live on disk and only the element→offset
+// directory stays in memory. Probes are positioned reads, so a cold index
+// answers queries without loading the posting file.
+//
+// The core.Filter interface has no error channel; when a probe fails
+// (corruption, IO) the filter keeps its completeness contract by flooding
+// the candidate set with every object — turning the query into a verified
+// scan instead of silently losing answers — and records the error for
+// inspection via Err.
+type TokenFilter struct {
+	ds  *model.Dataset
+	r   *Reader
+	err error
+}
+
+// SaveTokenIndex builds the textual signature index for ds and writes it to
+// path.
+func SaveTokenIndex(path string, ds *model.Dataset) error {
+	return Save(path, core.NewTokenFilter(ds).Index())
+}
+
+// OpenTokenFilter opens a disk-resident token index previously written by
+// SaveTokenIndex for the same dataset.
+func OpenTokenFilter(ds *model.Dataset, path string) (*TokenFilter, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if r.Dual() {
+		r.Close()
+		return nil, fmt.Errorf("diskidx: %s is a dual-bound index, not a token index", path)
+	}
+	return &TokenFilter{ds: ds, r: r}, nil
+}
+
+// Close releases the underlying file.
+func (f *TokenFilter) Close() error { return f.r.Close() }
+
+// Err returns the first probe error encountered, if any.
+func (f *TokenFilter) Err() error { return f.err }
+
+// Name implements core.Filter.
+func (f *TokenFilter) Name() string { return "TokenFilter(disk)" }
+
+// SizeBytes implements core.Filter: the in-memory footprint is just the
+// offset directory (the paper: "this index was small enough to be
+// maintained in memory").
+func (f *TokenFilter) SizeBytes() int64 { return int64(f.r.Lists()) * 32 }
+
+// Collect implements core.Filter with the same prefix selection as the
+// in-memory TokenFilter, probing lists through positioned reads.
+func (f *TokenFilter) Collect(q *model.Query, cs *core.CandidateSet, st *core.FilterStats) {
+	_, cT := core.Thresholds(q)
+	if cT <= 0 {
+		return
+	}
+	sig := make([]text.TokenID, len(q.Tokens))
+	copy(sig, q.Tokens)
+	f.ds.Vocab().SortBySignatureOrder(sig)
+	weights := make([]float64, len(sig))
+	for i, t := range sig {
+		weights[i] = f.ds.TokenWeight(t)
+	}
+	p := invidx.PrefixLen(weights, cT)
+	slack := invidx.Slack(cT)
+	for _, t := range sig[:p] {
+		objs, err := f.r.Probe(uint64(t), slack)
+		if err != nil {
+			if f.err == nil {
+				f.err = fmt.Errorf("diskidx: probing token %d: %w", t, err)
+			}
+			// Stay complete: degrade to a full scan.
+			for obj := 0; obj < f.ds.Len(); obj++ {
+				cs.Add(uint32(obj))
+			}
+			return
+		}
+		st.ListsProbed++
+		st.PostingsScanned += len(objs)
+		for _, obj := range objs {
+			cs.Add(obj)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package diskidx_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/diskidx"
+	"github.com/sealdb/seal/internal/invidx"
+	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/testutil"
+)
+
+func TestDiskTokenFilterMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ds, err := testutil.RandomDataset(rng, 250, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tokens.idx")
+	if err := diskidx.SaveTokenIndex(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := diskidx.OpenTokenFilter(ds, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	mem := core.NewTokenFilter(ds)
+
+	collect := func(f core.Filter, q *model.Query) []uint32 {
+		cs := core.NewCandidateSet(ds.Len())
+		cs.Reset()
+		var st core.FilterStats
+		f.Collect(q, cs, &st)
+		out := append([]uint32(nil), cs.IDs()...)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	for qi := 0; qi < 40; qi++ {
+		q, err := testutil.RandomQuery(rng, ds, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := collect(mem, q)
+		b := collect(disk, q)
+		if len(a) != len(b) {
+			t.Fatalf("q%d: disk %d candidates, memory %d", qi, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("q%d: candidate %d differs", qi, i)
+			}
+		}
+	}
+	if disk.Err() != nil {
+		t.Fatalf("unexpected probe error: %v", disk.Err())
+	}
+	// End-to-end through the searcher: identical answers.
+	q, err := testutil.RandomQuery(rng, ds, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testutil.BruteForceAnswers(ds, q)
+	matches, _ := core.NewSearcher(ds, disk).Search(q)
+	if len(matches) != len(want) {
+		t.Fatalf("disk searcher: %d answers, want %d", len(matches), len(want))
+	}
+	if disk.SizeBytes() <= 0 {
+		t.Fatal("directory size should be positive")
+	}
+}
+
+func TestDiskTokenFilterCorruptionDegradesGracefully(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ds, err := testutil.RandomDataset(rng, 120, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tokens.idx")
+	if err := diskidx.SaveTokenIndex(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt payload bytes in the middle of the file (past the header).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(data) / 2; i < len(data)/2+64 && i < len(data); i++ {
+		data[i] ^= 0xA5
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := diskidx.OpenTokenFilter(ds, path)
+	if err != nil {
+		// Corruption already detected at open time is equally acceptable.
+		t.Skipf("corruption rejected at open: %v", err)
+	}
+	defer disk.Close()
+	s := core.NewSearcher(ds, disk)
+	sawErr := false
+	for qi := 0; qi < 40 && !sawErr; qi++ {
+		q, err := testutil.RandomQuery(rng, ds, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := testutil.BruteForceAnswers(ds, q)
+		matches, _ := s.Search(q)
+		// Whatever happens to the index, answers must stay exact.
+		if len(matches) != len(want) {
+			t.Fatalf("q%d: %d answers, want %d", qi, len(matches), len(want))
+		}
+		for i := range want {
+			if matches[i].ID != want[i] {
+				t.Fatalf("q%d: answer %d differs", qi, i)
+			}
+		}
+		sawErr = disk.Err() != nil
+	}
+	if !sawErr {
+		t.Log("no query touched the corrupted lists; completeness still verified")
+	}
+}
+
+func TestOpenTokenFilterRejectsDual(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ds, err := testutil.RandomDataset(rng, 30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dual.idx")
+	var db invidx.DualBuilder
+	db.Add(1, 2, 3, 4)
+	if err := diskidx.SaveDual(path, db.Build()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := diskidx.OpenTokenFilter(ds, path); err == nil {
+		t.Fatal("dual index should be rejected")
+	}
+}

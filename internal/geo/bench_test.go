@@ -1,0 +1,46 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchRects(n int) []Rect {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]Rect, n)
+	for i := range out {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		out[i] = Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*50, MaxY: y + rng.Float64()*50}
+	}
+	return out
+}
+
+func BenchmarkIntersectionArea(b *testing.B) {
+	rects := benchRects(1024)
+	q := Rect{MinX: 400, MinY: 400, MaxX: 600, MaxY: 600}
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += rects[i&1023].IntersectionArea(q)
+	}
+	_ = sink
+}
+
+func BenchmarkJaccard(b *testing.B) {
+	rects := benchRects(1024)
+	q := Rect{MinX: 400, MinY: 400, MaxX: 600, MaxY: 600}
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += Jaccard(rects[i&1023], q)
+	}
+	_ = sink
+}
+
+func BenchmarkRectSetUnionArea(b *testing.B) {
+	set := RectSet(benchRects(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = set.Area()
+	}
+}

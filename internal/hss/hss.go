@@ -1,0 +1,118 @@
+// Package hss implements the Hierarchical hybrid Signature Selection (HSS)
+// problem of Section 5.2 and its greedy solution (Algorithm 2, Figure 11).
+//
+// Given the set of object regions that contain a token t and a budget mt,
+// HSS-Greedy selects at most mt hierarchical grids from the grid tree so
+// that the summed grid error (Definition 6) is small: it repeatedly splits
+// the enqueued node with the largest error into its four children while the
+// budget allows. The exact problem is NP-hard (Theorem 1, by reduction from
+// rectangular partitioning), which is why a greedy approximation is used.
+package hss
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/gridtree"
+)
+
+// Grid is one selected hierarchical grid: the tree node plus the number of
+// subject regions intersecting it (count(g), which defines the global order
+// of hierarchical grids — ascending level, then ascending count).
+type Grid struct {
+	Node  gridtree.NodeID
+	Count int
+}
+
+type queueItem struct {
+	node   gridtree.NodeID
+	subset []int // indices into the caller's rects
+	err    float64
+}
+
+// errorQueue is a max-heap on node error, with NodeID as deterministic
+// tie-break.
+type errorQueue []queueItem
+
+func (q errorQueue) Len() int { return len(q) }
+func (q errorQueue) Less(i, j int) bool {
+	if q[i].err != q[j].err {
+		return q[i].err > q[j].err
+	}
+	return q[i].node < q[j].node
+}
+func (q errorQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *errorQueue) Push(x any)   { *q = append(*q, x.(queueItem)) }
+func (q *errorQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Select runs HSS-Greedy for the given object regions under budget mt and
+// returns the selected grids with their intersection counts. Children that
+// intersect no region are dropped (they can hold no postings), so the result
+// covers every region but not necessarily the whole space. The result is
+// empty when no region overlaps the tree's space.
+func Select(tree *gridtree.Tree, rects []geo.Rect, mt int) ([]Grid, error) {
+	if mt < 1 {
+		return nil, fmt.Errorf("hss: budget %d must be at least 1", mt)
+	}
+	rootSubset := tree.FilterIntersecting(tree.Root(), rects, nil, nil)
+	if len(rootSubset) == 0 {
+		return nil, nil
+	}
+	subsetRects := func(subset []int) []geo.Rect {
+		rs := make([]geo.Rect, len(subset))
+		for i, idx := range subset {
+			rs[i] = rects[idx]
+		}
+		return rs
+	}
+
+	q := &errorQueue{}
+	heap.Push(q, queueItem{
+		node:   tree.Root(),
+		subset: rootSubset,
+		err:    tree.NodeError(tree.Root(), subsetRects(rootSubset)),
+	})
+	var out []Grid
+	for q.Len() > 0 {
+		it := heap.Pop(q).(queueItem)
+		if tree.IsLeaf(it.node) {
+			out = append(out, Grid{Node: it.node, Count: len(it.subset)})
+			continue
+		}
+		children := tree.Children(it.node)
+		childSubsets := make([][]int, 0, 4)
+		childNodes := make([]gridtree.NodeID, 0, 4)
+		for _, c := range children {
+			sub := tree.FilterIntersecting(c, rects, it.subset, nil)
+			if len(sub) == 0 {
+				continue
+			}
+			childSubsets = append(childSubsets, sub)
+			childNodes = append(childNodes, c)
+		}
+		// Splitting replaces the dequeued grid with len(childNodes) grids;
+		// every queued or finalized grid contributes at least one output
+		// grid, so the final size would be at least the sum below. Keep the
+		// node whole when that would exceed the budget (the |Gt|+|Q|+|Nc|-1
+		// check of Algorithm 2, with |Q| counted before the dequeue).
+		if len(out)+q.Len()+len(childNodes) > mt {
+			out = append(out, Grid{Node: it.node, Count: len(it.subset)})
+			continue
+		}
+		for i, c := range childNodes {
+			heap.Push(q, queueItem{
+				node:   c,
+				subset: childSubsets[i],
+				err:    tree.NodeError(c, subsetRects(childSubsets[i])),
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package hss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/gridtree"
+	"github.com/sealdb/seal/internal/paperdata"
+)
+
+func newTree(t *testing.T, space geo.Rect, maxLevel int) *gridtree.Tree {
+	t.Helper()
+	tr, err := gridtree.New(space, maxLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSelectBudgetOne(t *testing.T) {
+	tr := newTree(t, geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, 4)
+	rects := []geo.Rect{{MinX: 1, MinY: 1, MaxX: 9, MaxY: 9}}
+	grids, err := Select(tr, rects, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splitting a node with a single non-empty child does not increase the
+	// grid count, so the greedy may legally refine below the root as long as
+	// the one selected grid still covers the region.
+	if len(grids) != 1 {
+		t.Fatalf("budget 1 should select exactly one grid, got %v", grids)
+	}
+	if grids[0].Count != 1 {
+		t.Fatalf("grid count = %d, want 1", grids[0].Count)
+	}
+	cell := tr.Rect(grids[0].Node)
+	if !cell.Contains(rects[0]) {
+		t.Fatalf("selected grid %v (%v) must cover the region %v", grids[0].Node, cell, rects[0])
+	}
+}
+
+func TestSelectInvalidBudget(t *testing.T) {
+	tr := newTree(t, geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, 2)
+	if _, err := Select(tr, nil, 0); err == nil {
+		t.Fatal("budget 0 should error")
+	}
+}
+
+func TestSelectNoRegions(t *testing.T) {
+	tr := newTree(t, geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, 2)
+	grids, err := Select(tr, []geo.Rect{{MinX: 500, MinY: 500, MaxX: 600, MaxY: 600}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grids) != 0 {
+		t.Fatalf("disjoint regions should select nothing, got %v", grids)
+	}
+}
+
+// TestSelectSplitsHotCorner: a tight cluster in one corner should drive the
+// greedy to refine that corner rather than the empty remainder.
+func TestSelectSplitsHotCorner(t *testing.T) {
+	tr := newTree(t, geo.Rect{MinX: 0, MinY: 0, MaxX: 128, MaxY: 128}, 5)
+	var rects []geo.Rect
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30; i++ {
+		x, y := rng.Float64()*12, rng.Float64()*12
+		rects = append(rects, geo.Rect{MinX: x, MinY: y, MaxX: x + 3, MaxY: y + 3})
+	}
+	grids, err := Select(tr, rects, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grids) == 0 || len(grids) > 16 {
+		t.Fatalf("selected %d grids, want 1..16", len(grids))
+	}
+	deepest := 0
+	for _, g := range grids {
+		if g.Node.Level() > deepest {
+			deepest = g.Node.Level()
+		}
+	}
+	if deepest < 2 {
+		t.Fatalf("hot corner should be refined below level 2, deepest = %d", deepest)
+	}
+}
+
+// coverage verifies the two structural invariants of a selection: grids are
+// pairwise disjoint, and together they cover every region's in-space area.
+func checkCoverage(t *testing.T, tr *gridtree.Tree, rects []geo.Rect, grids []Grid) {
+	t.Helper()
+	for i := 0; i < len(grids); i++ {
+		ri := tr.Rect(grids[i].Node)
+		for j := i + 1; j < len(grids); j++ {
+			if ri.IntersectionArea(tr.Rect(grids[j].Node)) > 0 {
+				t.Fatalf("grids %v and %v overlap", grids[i].Node, grids[j].Node)
+			}
+		}
+	}
+	for k, r := range rects {
+		want := r.IntersectionArea(tr.Space)
+		var got float64
+		for _, g := range grids {
+			got += tr.Rect(g.Node).IntersectionArea(r)
+		}
+		if math.Abs(got-want) > 1e-6*math.Max(want, 1) {
+			t.Fatalf("region %d covered area %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestSelectCoverageOnPaperData(t *testing.T) {
+	tr := newTree(t, geo.Rect{MinX: 0, MinY: 0, MaxX: 120, MaxY: 120}, 4)
+	for _, mt := range []int{1, 2, 4, 8, 16, 64} {
+		grids, err := Select(tr, paperdata.Regions, mt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(grids) > mt {
+			t.Fatalf("mt=%d: selected %d grids", mt, len(grids))
+		}
+		checkCoverage(t, tr, paperdata.Regions, grids)
+		// Counts are consistent: each grid intersects exactly Count regions.
+		for _, g := range grids {
+			n := 0
+			for _, r := range paperdata.Regions {
+				if tr.Rect(g.Node).IntersectionArea(r) > 0 {
+					n++
+				}
+			}
+			if n != g.Count {
+				t.Fatalf("grid %v count %d, recomputed %d", g.Node, g.Count, n)
+			}
+		}
+	}
+}
+
+// TestSelectProperties: budget respected, disjointness and coverage hold for
+// random region sets.
+func TestSelectProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		space := geo.Rect{MinX: 0, MinY: 0, MaxX: 512, MaxY: 512}
+		tr, err := gridtree.New(space, 5)
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(20)
+		rects := make([]geo.Rect, 0, n)
+		for i := 0; i < n; i++ {
+			x, y := rng.Float64()*500, rng.Float64()*500
+			rects = append(rects, geo.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*60 + 0.1, MaxY: y + rng.Float64()*60 + 0.1})
+		}
+		mt := 1 + rng.Intn(32)
+		grids, err := Select(tr, rects, mt)
+		if err != nil || len(grids) > mt || len(grids) == 0 {
+			return false
+		}
+		// Disjointness.
+		for i := 0; i < len(grids); i++ {
+			for j := i + 1; j < len(grids); j++ {
+				if tr.Rect(grids[i].Node).IntersectionArea(tr.Rect(grids[j].Node)) > 0 {
+					return false
+				}
+			}
+		}
+		// Coverage of every region.
+		for _, r := range rects {
+			want := r.IntersectionArea(space)
+			var got float64
+			for _, g := range grids {
+				got += tr.Rect(g.Node).IntersectionArea(r)
+			}
+			if math.Abs(got-want) > 1e-6*math.Max(want, 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLargerBudgetNeverCoarser: increasing the budget must not reduce the
+// total number of selected grids.
+func TestLargerBudgetNeverCoarser(t *testing.T) {
+	tr := newTree(t, geo.Rect{MinX: 0, MinY: 0, MaxX: 120, MaxY: 120}, 4)
+	prev := 0
+	for _, mt := range []int{1, 2, 4, 8, 16, 32} {
+		grids, err := Select(tr, paperdata.Regions, mt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(grids) < prev {
+			t.Fatalf("mt=%d produced %d grids, fewer than previous %d", mt, len(grids), prev)
+		}
+		prev = len(grids)
+	}
+}

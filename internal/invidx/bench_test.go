@@ -1,0 +1,50 @@
+package invidx
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchList(n int) *List {
+	rng := rand.New(rand.NewSource(1))
+	var b Builder
+	for i := 0; i < n; i++ {
+		b.Add(1, uint32(i), rng.Float64()*1000)
+	}
+	return b.Build().List(1)
+}
+
+func BenchmarkCutoff(b *testing.B) {
+	l := benchList(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Cutoff(float64(i % 1000))
+	}
+}
+
+func BenchmarkPrefixLen(b *testing.B) {
+	weights := make([]float64, 64)
+	rng := rand.New(rand.NewSource(2))
+	for i := range weights {
+		weights[i] = rng.Float64() * 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PrefixLen(weights, float64(i%300))
+	}
+}
+
+func BenchmarkDualScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var db DualBuilder
+	for i := 0; i < 10000; i++ {
+		db.Add(1, uint32(i), rng.Float64()*1000, rng.Float64())
+	}
+	l := db.Build().List(1)
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Scan(500, 0.5, func(obj uint32) { sink++ })
+	}
+	_ = sink
+}

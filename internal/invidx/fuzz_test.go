@@ -1,0 +1,52 @@
+package invidx
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPrefixConsistency fuzzes the Lemma 2/3 machinery: for arbitrary
+// weight vectors and thresholds, prefix membership must coincide with the
+// suffix-bound test, and the prefix must shrink monotonically in c.
+func FuzzPrefixConsistency(f *testing.F) {
+	f.Add(0.8, 0.8, 0.3, 0.57)
+	f.Add(1.0, 0.0, 0.0, 0.5)
+	f.Add(0.1, 0.2, 0.3, 2.0)
+	f.Fuzz(func(t *testing.T, w1, w2, w3, c float64) {
+		ws := []float64{w1, w2, w3}
+		for i, w := range ws {
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 || w > 1e9 {
+				t.Skip()
+			}
+			_ = i
+		}
+		if math.IsNaN(c) || math.IsInf(c, 0) || c <= 0 || c > 1e9 {
+			t.Skip()
+		}
+		// Weights must be in the global order's descending sequence for the
+		// machinery's contract; sort descending.
+		for i := 0; i < len(ws); i++ {
+			for j := i + 1; j < len(ws); j++ {
+				if ws[j] > ws[i] {
+					ws[i], ws[j] = ws[j], ws[i]
+				}
+			}
+		}
+		p := PrefixLen(ws, c)
+		bounds := make([]float64, len(ws))
+		SuffixBounds(ws, bounds)
+		slack := Slack(c)
+		for i := range ws {
+			inPrefix := i < p
+			byBound := bounds[i] >= slack
+			if inPrefix != byBound {
+				t.Fatalf("weights %v c=%v: position %d prefix=%v bound=%v",
+					ws, c, i, inPrefix, byBound)
+			}
+		}
+		// Monotonicity: doubling the threshold cannot grow the prefix.
+		if p2 := PrefixLen(ws, 2*c); p2 > p {
+			t.Fatalf("prefix grew with threshold: %d -> %d", p, p2)
+		}
+	})
+}

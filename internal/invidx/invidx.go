@@ -1,0 +1,270 @@
+// Package invidx implements the inverted-index substrate of SEAL's
+// signature filters: posting lists keyed by signature elements, where each
+// posting carries a threshold bound (Lemma 3 of the paper).
+//
+// The bound of object o in the list of element s is the suffix weight sum
+// c_s(o) = Σ_{j≥i} w(s_j) taken at s's position i in o's globally-ordered
+// signature. Lists are sorted by descending bound, so for a query threshold
+// c the postings to retrieve — exactly those with s in o's signature prefix
+// — form a list head found by binary search (I_c(s) = {o : c_s(o) ≥ c}).
+//
+// Two list flavours are provided: List with one bound (token or grid
+// signatures, Section 4.2) and DualList with both a spatial and a textual
+// bound (hybrid signatures, Section 5.1).
+package invidx
+
+import (
+	"sort"
+)
+
+// Posting pairs an object with its threshold bound in one list.
+type Posting struct {
+	Obj   uint32
+	Bound float64
+}
+
+// List is an immutable posting list sorted by descending bound.
+type List struct {
+	objs   []uint32
+	bounds []float64
+}
+
+// Len returns the number of postings.
+func (l *List) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.objs)
+}
+
+// Cutoff returns the number of leading postings whose bound is >= c
+// (the size of I_c(s) from Lemma 3).
+func (l *List) Cutoff(c float64) int {
+	if l == nil {
+		return 0
+	}
+	// bounds is descending; find the first index with bound < c.
+	return sort.Search(len(l.bounds), func(i int) bool { return l.bounds[i] < c })
+}
+
+// Objs returns the object IDs of the first n postings. Callers must not
+// mutate the result.
+func (l *List) Objs(n int) []uint32 { return l.objs[:n] }
+
+// Bound returns the bound of posting i.
+func (l *List) Bound(i int) float64 { return l.bounds[i] }
+
+// Obj returns the object of posting i.
+func (l *List) Obj(i int) uint32 { return l.objs[i] }
+
+// Index maps signature elements (opaque uint64 keys) to posting lists.
+// Build one with a Builder.
+type Index struct {
+	lists    map[uint64]*List
+	postings int
+}
+
+// Builder accumulates postings and freezes them into an Index.
+// The zero value is ready to use.
+type Builder struct {
+	lists map[uint64][]Posting
+}
+
+// Add appends a posting for element key.
+func (b *Builder) Add(key uint64, obj uint32, bound float64) {
+	if b.lists == nil {
+		b.lists = make(map[uint64][]Posting)
+	}
+	b.lists[key] = append(b.lists[key], Posting{Obj: obj, Bound: bound})
+}
+
+// Build sorts every list by descending bound (ties by ascending object, for
+// determinism) and freezes the index.
+func (b *Builder) Build() *Index {
+	idx := &Index{lists: make(map[uint64]*List, len(b.lists))}
+	for key, ps := range b.lists {
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].Bound != ps[j].Bound {
+				return ps[i].Bound > ps[j].Bound
+			}
+			return ps[i].Obj < ps[j].Obj
+		})
+		l := &List{
+			objs:   make([]uint32, len(ps)),
+			bounds: make([]float64, len(ps)),
+		}
+		for i, p := range ps {
+			l.objs[i] = p.Obj
+			l.bounds[i] = p.Bound
+		}
+		idx.lists[key] = l
+		idx.postings += len(ps)
+	}
+	b.lists = nil
+	return idx
+}
+
+// List returns the posting list of key, or nil if absent.
+func (ix *Index) List(key uint64) *List { return ix.lists[key] }
+
+// Lists returns the number of non-empty lists.
+func (ix *Index) Lists() int { return len(ix.lists) }
+
+// Postings returns the total number of postings.
+func (ix *Index) Postings() int { return ix.postings }
+
+// SizeBytes estimates the in-memory footprint: 12 bytes per posting
+// (uint32 + float64) plus per-list key/header overhead. It is the figure
+// reported in Table 1 for the signature indexes.
+func (ix *Index) SizeBytes() int64 {
+	const perPosting = 12
+	const perList = 8 + 24 + 24 // key + two slice headers
+	return int64(ix.postings)*perPosting + int64(len(ix.lists))*perList
+}
+
+// Range calls fn for every (key, list) pair, in unspecified order.
+func (ix *Index) Range(fn func(key uint64, l *List) bool) {
+	for k, l := range ix.lists {
+		if !fn(k, l) {
+			return
+		}
+	}
+}
+
+// DualPosting pairs an object with its spatial and textual bounds in one
+// hybrid list (Section 5.1).
+type DualPosting struct {
+	Obj    uint32
+	RBound float64 // spatial threshold bound c^R_h(o)
+	TBound float64 // textual threshold bound c^T_h(o)
+}
+
+// DualList is an immutable hybrid posting list sorted by descending spatial
+// bound; the textual bound is checked per posting during scans.
+type DualList struct {
+	objs    []uint32
+	rBounds []float64
+	tBounds []float64
+}
+
+// Len returns the number of postings.
+func (l *DualList) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.objs)
+}
+
+// Posting returns posting i (sorted by descending RBound).
+func (l *DualList) Posting(i int) DualPosting {
+	return DualPosting{Obj: l.objs[i], RBound: l.rBounds[i], TBound: l.tBounds[i]}
+}
+
+// Scan visits every posting with RBound >= cR and TBound >= cT, stopping at
+// the spatial cutoff (the list is sorted by RBound). It returns the number
+// of postings examined, which the experiment harness reports as probe cost.
+func (l *DualList) Scan(cR, cT float64, fn func(obj uint32)) int {
+	if l == nil {
+		return 0
+	}
+	n := sort.Search(len(l.rBounds), func(i int) bool { return l.rBounds[i] < cR })
+	for i := 0; i < n; i++ {
+		if l.tBounds[i] >= cT {
+			fn(l.objs[i])
+		}
+	}
+	return n
+}
+
+// DualIndex maps hybrid signature elements to dual-bound posting lists.
+type DualIndex struct {
+	lists    map[uint64]*DualList
+	postings int
+}
+
+// DualBuilder accumulates dual postings. The zero value is ready to use.
+// Postings for the same (key, obj) pair — hash-bucket collisions — are
+// merged at Build time by taking the maximum of each bound, which preserves
+// correctness because bounds are upper bounds on the thresholds at which the
+// element sits in the object's prefix.
+type DualBuilder struct {
+	lists map[uint64][]DualPosting
+}
+
+// Add appends a posting for element key.
+func (b *DualBuilder) Add(key uint64, obj uint32, rBound, tBound float64) {
+	if b.lists == nil {
+		b.lists = make(map[uint64][]DualPosting)
+	}
+	b.lists[key] = append(b.lists[key], DualPosting{Obj: obj, RBound: rBound, TBound: tBound})
+}
+
+// Build merges duplicate (key, obj) postings and freezes the builder into a
+// DualIndex.
+func (b *DualBuilder) Build() *DualIndex {
+	idx := &DualIndex{lists: make(map[uint64]*DualList, len(b.lists))}
+	for key, ps := range b.lists {
+		// Merge duplicates: group by object, keep max bounds.
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Obj < ps[j].Obj })
+		merged := ps[:0]
+		for _, p := range ps {
+			if n := len(merged); n > 0 && merged[n-1].Obj == p.Obj {
+				if p.RBound > merged[n-1].RBound {
+					merged[n-1].RBound = p.RBound
+				}
+				if p.TBound > merged[n-1].TBound {
+					merged[n-1].TBound = p.TBound
+				}
+				continue
+			}
+			merged = append(merged, p)
+		}
+		ps = merged
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].RBound != ps[j].RBound {
+				return ps[i].RBound > ps[j].RBound
+			}
+			return ps[i].Obj < ps[j].Obj
+		})
+		l := &DualList{
+			objs:    make([]uint32, len(ps)),
+			rBounds: make([]float64, len(ps)),
+			tBounds: make([]float64, len(ps)),
+		}
+		for i, p := range ps {
+			l.objs[i] = p.Obj
+			l.rBounds[i] = p.RBound
+			l.tBounds[i] = p.TBound
+		}
+		idx.lists[key] = l
+		idx.postings += len(ps)
+	}
+	b.lists = nil
+	return idx
+}
+
+// List returns the dual list of key, or nil if absent.
+func (ix *DualIndex) List(key uint64) *DualList { return ix.lists[key] }
+
+// Lists returns the number of non-empty lists.
+func (ix *DualIndex) Lists() int { return len(ix.lists) }
+
+// Postings returns the total number of postings.
+func (ix *DualIndex) Postings() int { return ix.postings }
+
+// SizeBytes estimates the in-memory footprint: 20 bytes per posting plus
+// per-list overhead.
+func (ix *DualIndex) SizeBytes() int64 {
+	const perPosting = 20
+	const perList = 8 + 24*3
+	return int64(ix.postings)*perPosting + int64(len(ix.lists))*perList
+}
+
+// Range calls fn for every (key, list) pair, in unspecified order.
+func (ix *DualIndex) Range(fn func(key uint64, l *DualList) bool) {
+	for k, l := range ix.lists {
+		if !fn(k, l) {
+			return
+		}
+	}
+}

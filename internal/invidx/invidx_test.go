@@ -1,0 +1,251 @@
+package invidx
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestListCutoff(t *testing.T) {
+	var b Builder
+	b.Add(7, 1, 0.5)
+	b.Add(7, 2, 2.0)
+	b.Add(7, 3, 1.0)
+	b.Add(9, 4, 3.0)
+	idx := b.Build()
+
+	l := idx.List(7)
+	if l.Len() != 3 {
+		t.Fatalf("list len = %d, want 3", l.Len())
+	}
+	// Sorted descending: bounds 2.0, 1.0, 0.5.
+	for i, want := range []float64{2.0, 1.0, 0.5} {
+		if l.Bound(i) != want {
+			t.Errorf("bound[%d] = %v, want %v", i, l.Bound(i), want)
+		}
+	}
+	cases := []struct {
+		c    float64
+		want int
+	}{
+		{3.0, 0}, {2.0, 1}, {1.5, 1}, {1.0, 2}, {0.6, 2}, {0.5, 3}, {0.0, 3},
+	}
+	for _, c := range cases {
+		if got := l.Cutoff(c.c); got != c.want {
+			t.Errorf("Cutoff(%v) = %d, want %d", c.c, got, c.want)
+		}
+	}
+	if idx.List(999) != nil {
+		t.Errorf("absent key should return nil list")
+	}
+	if idx.List(999).Cutoff(1) != 0 || idx.List(999).Len() != 0 {
+		t.Errorf("nil list should behave empty")
+	}
+	if idx.Postings() != 4 || idx.Lists() != 2 {
+		t.Errorf("postings=%d lists=%d, want 4 and 2", idx.Postings(), idx.Lists())
+	}
+	if idx.SizeBytes() <= 0 {
+		t.Errorf("SizeBytes should be positive")
+	}
+}
+
+func TestListDeterministicTieBreak(t *testing.T) {
+	var b Builder
+	b.Add(1, 9, 1.0)
+	b.Add(1, 3, 1.0)
+	b.Add(1, 5, 1.0)
+	l := b.Build().List(1)
+	want := []uint32{3, 5, 9}
+	for i, w := range want {
+		if l.Obj(i) != w {
+			t.Fatalf("tie order = %v, want ascending object IDs", l.Objs(3))
+		}
+	}
+}
+
+// TestPrefixLenPaperExample reproduces the token prefix of Example 2/Fig. 4:
+// query tokens sorted {t1:0.8, t3:0.8, t2:0.3}, cT = 0.57 → prefix {t1, t3}.
+func TestPrefixLenPaperExample(t *testing.T) {
+	weights := []float64{0.8, 0.8, 0.3}
+	if got := PrefixLen(weights, 0.57); got != 2 {
+		t.Fatalf("PrefixLen = %d, want 2 (prefix {t1,t3})", got)
+	}
+	// Grid example from Fig. 5: weights of q's cells in global order
+	// {g7:150, g10:750, g11:450, g14:500, g15:300, g6:250}, cR = 600 →
+	// prefix of length 4 ({g7,g10,g11,g14}), because the suffix {g15,g6}
+	// weighs 550 < 600.
+	grid := []float64{150, 750, 450, 500, 300, 250}
+	if got := PrefixLen(grid, 600); got != 4 {
+		t.Fatalf("grid PrefixLen = %d, want 4", got)
+	}
+}
+
+func TestPrefixLenEdgeCases(t *testing.T) {
+	if got := PrefixLen(nil, 1); got != 0 {
+		t.Errorf("empty signature prefix = %d, want 0", got)
+	}
+	// Total below threshold: nothing can reach c.
+	if got := PrefixLen([]float64{0.2, 0.1}, 0.5); got != 0 {
+		t.Errorf("unreachable threshold prefix = %d, want 0", got)
+	}
+	// Total exactly the threshold: only the head qualifies, because the
+	// suffix after position 1 (0.2) is already below c — Lemma 2's p is the
+	// first i whose following suffix drops below the threshold.
+	if got := PrefixLen([]float64{0.3, 0.2}, 0.5); got != 1 {
+		t.Errorf("exact threshold prefix = %d, want 1", got)
+	}
+	if got := PrefixLen([]float64{0.5}, 0.5); got != 1 {
+		t.Errorf("single exact element prefix = %d, want 1", got)
+	}
+	// Zero-weight tail is dropped.
+	if got := PrefixLen([]float64{1, 0, 0}, 0.5); got != 1 {
+		t.Errorf("zero tail prefix = %d, want 1", got)
+	}
+}
+
+func TestSuffixBounds(t *testing.T) {
+	w := []float64{0.8, 0.8, 0.3}
+	bounds := make([]float64, 3)
+	SuffixBounds(w, bounds)
+	want := []float64{1.9, 1.1, 0.3}
+	for i := range want {
+		if math.Abs(bounds[i]-want[i]) > 1e-12 {
+			t.Fatalf("bounds = %v, want %v", bounds, want)
+		}
+	}
+}
+
+// TestPrefixBoundConsistency is the central Lemma 2/3 invariant: element i
+// is in the prefix for threshold c exactly when its suffix bound is >= c.
+func TestPrefixBoundConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = math.Floor(rng.Float64()*100) / 10
+		}
+		bounds := make([]float64, n)
+		SuffixBounds(w, bounds)
+		for trial := 0; trial < 10; trial++ {
+			c := rng.Float64() * 12
+			p := PrefixLen(w, c)
+			for i := 0; i < n; i++ {
+				inPrefix := i < p
+				byBound := bounds[i] >= Slack(c)
+				if inPrefix != byBound {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDualListScan(t *testing.T) {
+	var b DualBuilder
+	b.Add(1, 10, 5.0, 0.9)
+	b.Add(1, 11, 4.0, 0.2)
+	b.Add(1, 12, 3.0, 0.8)
+	b.Add(1, 13, 1.0, 0.9)
+	idx := b.Build()
+	l := idx.List(1)
+
+	var got []uint32
+	examined := l.Scan(2.5, 0.5, func(obj uint32) { got = append(got, obj) })
+	if examined != 3 {
+		t.Fatalf("examined = %d, want 3 (spatial cutoff)", examined)
+	}
+	want := []uint32{10, 12} // 11 fails the textual bound, 13 the spatial cutoff
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Scan = %v, want %v", got, want)
+	}
+	var none []uint32
+	if n := l.Scan(10, 0.1, func(obj uint32) { none = append(none, obj) }); n != 0 || len(none) != 0 {
+		t.Fatalf("high cR should scan nothing, got %v (examined %d)", none, n)
+	}
+	if (*DualList)(nil).Scan(0, 0, func(uint32) {}) != 0 {
+		t.Fatalf("nil dual list should scan nothing")
+	}
+}
+
+func TestDualBuilderMergesMaxBounds(t *testing.T) {
+	var b DualBuilder
+	b.Add(1, 42, 5.0, 0.2)
+	b.Add(1, 42, 3.0, 0.9) // same object, same bucket: merge with max bounds
+	idx := b.Build()
+	l := idx.List(1)
+	if l.Len() != 1 {
+		t.Fatalf("merged list len = %d, want 1", l.Len())
+	}
+	var got []uint32
+	l.Scan(4.5, 0.8, func(obj uint32) { got = append(got, obj) })
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("merged posting should satisfy (4.5, 0.8): got %v", got)
+	}
+	if idx.Postings() != 1 {
+		t.Fatalf("postings = %d, want 1", idx.Postings())
+	}
+}
+
+func TestDualIndexSizeAndRange(t *testing.T) {
+	var b DualBuilder
+	for i := uint32(0); i < 10; i++ {
+		b.Add(uint64(i%3), i, float64(i), 1)
+	}
+	idx := b.Build()
+	if idx.Lists() != 3 || idx.Postings() != 10 {
+		t.Fatalf("lists=%d postings=%d", idx.Lists(), idx.Postings())
+	}
+	if idx.SizeBytes() <= 0 {
+		t.Errorf("SizeBytes should be positive")
+	}
+	seen := 0
+	idx.Range(func(key uint64, l *DualList) bool {
+		seen += l.Len()
+		return true
+	})
+	if seen != 10 {
+		t.Fatalf("Range visited %d postings, want 10", seen)
+	}
+}
+
+// TestCutoffMatchesLinearScan cross-checks the binary-search cutoff against
+// a linear filter over random lists.
+func TestCutoffMatchesLinearScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b Builder
+		n := rng.Intn(50)
+		bounds := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			bd := math.Floor(rng.Float64()*50) / 5
+			bounds = append(bounds, bd)
+			b.Add(1, uint32(i), bd)
+		}
+		idx := b.Build()
+		l := idx.List(1)
+		sort.Sort(sort.Reverse(sort.Float64Slice(bounds)))
+		for trial := 0; trial < 8; trial++ {
+			c := rng.Float64() * 11
+			want := 0
+			for _, bd := range bounds {
+				if bd >= c {
+					want++
+				}
+			}
+			if got := l.Cutoff(c); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

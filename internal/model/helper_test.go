@@ -1,0 +1,9 @@
+package model_test
+
+import "github.com/sealdb/seal/internal/text"
+
+// textVocab is a tiny indirection so model tests can build explicit-weight
+// vocabularies without importing text in every file.
+func textVocab(terms []string, weights []float64) (*text.Vocab, error) {
+	return text.NewWithWeights(terms, weights)
+}

@@ -1,0 +1,305 @@
+// Package model defines the spatio-textual data and query model of SEAL
+// (Section 2.1): a Dataset of ROI objects — each an MBR region plus a
+// weighted token set — and similarity-search queries with separate spatial
+// and textual thresholds. It also provides the exact similarity verification
+// used by every method's verify step.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/text"
+)
+
+// ObjectID indexes an object inside its Dataset (dense, 0-based).
+type ObjectID uint32
+
+// TextualSim selects the token-set similarity function (Definition 2 and the
+// extensions listed in the paper's future work).
+type TextualSim uint8
+
+// Supported textual similarity functions.
+const (
+	TextJaccard TextualSim = iota
+	TextDice
+	TextCosine
+)
+
+func (s TextualSim) String() string {
+	switch s {
+	case TextJaccard:
+		return "jaccard"
+	case TextDice:
+		return "dice"
+	case TextCosine:
+		return "cosine"
+	default:
+		return fmt.Sprintf("TextualSim(%d)", uint8(s))
+	}
+}
+
+// SpatialSim selects the region similarity function (Definition 1).
+type SpatialSim uint8
+
+// Supported spatial similarity functions.
+const (
+	SpaceJaccard SpatialSim = iota
+	SpaceDice
+)
+
+func (s SpatialSim) String() string {
+	switch s {
+	case SpaceJaccard:
+		return "jaccard"
+	case SpaceDice:
+		return "dice"
+	default:
+		return fmt.Sprintf("SpatialSim(%d)", uint8(s))
+	}
+}
+
+// Dataset is an immutable collection of spatio-textual objects sharing a
+// vocabulary. Build one with a Builder.
+type Dataset struct {
+	vocab *text.Vocab
+	// Structure-of-arrays layout: regions[i] and tokens[i] describe object i.
+	regions []geo.Rect
+	tokens  [][]text.TokenID // ascending token IDs, de-duplicated
+	totalW  []float64        // Σ w(t) per object
+	areas   []float64        // cached |o.R|
+	space   geo.Rect         // MBR of all regions
+	weights []float64        // weight table indexed by TokenID
+	// multi holds the rectangle-union footprints of multi-region objects
+	// (nil when the dataset has none); see multiregion.go.
+	multi map[ObjectID]geo.RectSet
+
+	spatialSim SpatialSim
+	textualSim TextualSim
+}
+
+// Builder accumulates objects and freezes them into a Dataset.
+// The zero value is ready to use.
+type Builder struct {
+	vb      text.Builder
+	regions []geo.Rect
+	tokens  [][]text.TokenID
+	multi   map[ObjectID]geo.RectSet
+	sims    struct {
+		spatial SpatialSim
+		textual TextualSim
+	}
+}
+
+// SetSimilarity selects the similarity functions the dataset will verify
+// with. The default is Jaccard for both, as in the paper.
+func (b *Builder) SetSimilarity(spatial SpatialSim, textual TextualSim) {
+	b.sims.spatial = spatial
+	b.sims.textual = textual
+}
+
+// Add appends one object with the given region and raw terms. Duplicate
+// terms within one object count once. It returns the object's ID.
+func (b *Builder) Add(region geo.Rect, terms []string) (ObjectID, error) {
+	if !region.Valid() {
+		return 0, fmt.Errorf("model: object %d: invalid region %v", len(b.regions), region)
+	}
+	id := ObjectID(len(b.regions))
+	b.regions = append(b.regions, region)
+	b.tokens = append(b.tokens, b.vb.AddDoc(terms))
+	return id, nil
+}
+
+// Len returns the number of objects added so far.
+func (b *Builder) Len() int { return len(b.regions) }
+
+// Build freezes the builder. The resulting dataset computes idf weights
+// w(t) = ln(|O|/count(t,O)) over the added objects.
+func (b *Builder) Build() (*Dataset, error) {
+	if len(b.regions) == 0 {
+		return nil, errors.New("model: cannot build an empty dataset")
+	}
+	vocab := b.vb.Build()
+	return newDataset(vocab, b.regions, b.tokens, b.multi, b.sims.spatial, b.sims.textual)
+}
+
+// BuildWithVocab freezes the builder but verifies against the supplied
+// vocabulary (e.g. one built by NewWithWeights for custom token weights).
+// Every token used by an object must exist in vocab.
+func (b *Builder) BuildWithVocab(vocab *text.Vocab) (*Dataset, error) {
+	if len(b.regions) == 0 {
+		return nil, errors.New("model: cannot build an empty dataset")
+	}
+	own := b.vb.Build()
+	// Re-map token IDs from the builder's interning order to vocab's.
+	remapped := make([][]text.TokenID, len(b.tokens))
+	for i, set := range b.tokens {
+		out := make([]text.TokenID, 0, len(set))
+		for _, id := range set {
+			vid, ok := vocab.Lookup(own.Term(id))
+			if !ok {
+				return nil, fmt.Errorf("model: object %d uses token %q absent from supplied vocab", i, own.Term(id))
+			}
+			out = append(out, vid)
+		}
+		remapped[i] = text.SortDedup(out)
+	}
+	return newDataset(vocab, b.regions, remapped, b.multi, b.sims.spatial, b.sims.textual)
+}
+
+func newDataset(vocab *text.Vocab, regions []geo.Rect, tokens [][]text.TokenID, multi map[ObjectID]geo.RectSet, ss SpatialSim, ts TextualSim) (*Dataset, error) {
+	weights := make([]float64, vocab.Len())
+	for i := range weights {
+		weights[i] = vocab.Weight(text.TokenID(i))
+	}
+	ds := &Dataset{
+		vocab:      vocab,
+		regions:    regions,
+		tokens:     tokens,
+		totalW:     make([]float64, len(regions)),
+		areas:      make([]float64, len(regions)),
+		weights:    weights,
+		multi:      multi,
+		spatialSim: ss,
+		textualSim: ts,
+	}
+	for i, set := range tokens {
+		ds.totalW[i] = vocab.TotalWeight(set)
+		ds.areas[i] = regions[i].Area()
+	}
+	ds.space = geo.MBR(regions)
+	return ds, nil
+}
+
+// Len returns the number of objects.
+func (ds *Dataset) Len() int { return len(ds.regions) }
+
+// Vocab returns the dataset vocabulary.
+func (ds *Dataset) Vocab() *text.Vocab { return ds.vocab }
+
+// Region returns the MBR of object id.
+func (ds *Dataset) Region(id ObjectID) geo.Rect { return ds.regions[id] }
+
+// Tokens returns object id's sorted token-ID set. Callers must not mutate it.
+func (ds *Dataset) Tokens(id ObjectID) []text.TokenID { return ds.tokens[id] }
+
+// TokenWeight returns w(t).
+func (ds *Dataset) TokenWeight(t text.TokenID) float64 { return ds.weights[t] }
+
+// Weights returns the weight table indexed by TokenID. Read-only.
+func (ds *Dataset) Weights() []float64 { return ds.weights }
+
+// TotalWeight returns Σ_{t ∈ o.T} w(t) for object id.
+func (ds *Dataset) TotalWeight(id ObjectID) float64 { return ds.totalW[id] }
+
+// Area returns |o.R| for object id.
+func (ds *Dataset) Area(id ObjectID) float64 { return ds.areas[id] }
+
+// Space returns the MBR of all object regions — the space decomposed into
+// grids by the spatial signatures (Section 4.1).
+func (ds *Dataset) Space() geo.Rect { return ds.space }
+
+// SpatialSimFn returns the configured spatial similarity function.
+func (ds *Dataset) SpatialSimFn() SpatialSim { return ds.spatialSim }
+
+// TextualSimFn returns the configured textual similarity function.
+func (ds *Dataset) TextualSimFn() TextualSim { return ds.textualSim }
+
+// Query is a compiled spatio-textual similarity query against a particular
+// Dataset. Build one with Dataset.NewQuery.
+type Query struct {
+	Region geo.Rect
+	// Tokens holds the query tokens known to the dataset vocabulary,
+	// ascending and de-duplicated.
+	Tokens []text.TokenID
+	// UnknownWeight is the weight mass of query terms absent from every
+	// object. Unknown terms can never match, but they still enlarge the
+	// union in the Jaccard denominator, so they contribute to TotalWeight.
+	UnknownWeight float64
+	// TotalWeight is Σ w over all query terms, known and unknown.
+	TotalWeight float64
+	TauR, TauT  float64
+
+	area float64
+}
+
+// ErrThreshold reports an out-of-range similarity threshold.
+var ErrThreshold = errors.New("model: similarity thresholds must lie in (0, 1]")
+
+// NewQuery compiles a query. Unknown terms (absent from the vocabulary) are
+// legal: they receive the maximum idf weight ln(|O|) and participate in the
+// Jaccard denominator only. Thresholds must lie in (0, 1]: a zero threshold
+// would turn similarity search into a full scan (every disjoint object
+// trivially satisfies sim >= 0), which the signature framework deliberately
+// rejects rather than silently answering incorrectly.
+func (ds *Dataset) NewQuery(region geo.Rect, terms []string, tauR, tauT float64) (*Query, error) {
+	if !region.Valid() {
+		return nil, fmt.Errorf("model: invalid query region %v", region)
+	}
+	if tauR <= 0 || tauR > 1 || tauT <= 0 || tauT > 1 {
+		return nil, fmt.Errorf("%w (got tauR=%g, tauT=%g)", ErrThreshold, tauR, tauT)
+	}
+	q := &Query{Region: region, TauR: tauR, TauT: tauT, area: region.Area()}
+	maxW := maxIDFWeight(ds.Len())
+	seenUnknown := map[string]bool{}
+	ids := make([]text.TokenID, 0, len(terms))
+	for _, term := range terms {
+		if id, ok := ds.vocab.Lookup(term); ok {
+			ids = append(ids, id)
+		} else if !seenUnknown[term] {
+			seenUnknown[term] = true
+			q.UnknownWeight += maxW
+		}
+	}
+	q.Tokens = text.SortDedup(ids)
+	q.TotalWeight = ds.vocab.TotalWeight(q.Tokens) + q.UnknownWeight
+	return q, nil
+}
+
+func maxIDFWeight(numObjects int) float64 {
+	if numObjects < 1 {
+		numObjects = 1
+	}
+	return math.Log(float64(numObjects))
+}
+
+// Area returns the cached query-region area |q.R|.
+func (q *Query) Area() float64 { return q.area }
+
+// SimR returns the exact spatial similarity between the query and object id.
+// Multi-region objects are measured against their rectangle union.
+func (ds *Dataset) SimR(q *Query, id ObjectID) float64 {
+	if ds.multi != nil {
+		if set, ok := ds.multi[id]; ok {
+			return ds.simRMulti(q, set)
+		}
+	}
+	switch ds.spatialSim {
+	case SpaceDice:
+		return geo.Dice(q.Region, ds.regions[id])
+	default:
+		return geo.Jaccard(q.Region, ds.regions[id])
+	}
+}
+
+// SimT returns the exact textual similarity between the query and object id.
+// The query's unknown-term weight counts toward the union (denominator).
+func (ds *Dataset) SimT(q *Query, id ObjectID) float64 {
+	o := ds.tokens[id]
+	switch ds.textualSim {
+	case TextDice:
+		return text.WeightedDice(q.Tokens, o, ds.weights, q.TotalWeight, ds.totalW[id])
+	case TextCosine:
+		return text.WeightedCosine(q.Tokens, o, ds.weights, q.TotalWeight, ds.totalW[id])
+	default:
+		return text.WeightedJaccard(q.Tokens, o, ds.weights, q.TotalWeight, ds.totalW[id])
+	}
+}
+
+// Matches reports whether object id satisfies both thresholds — the
+// verification step shared by every search method.
+func (ds *Dataset) Matches(q *Query, id ObjectID) bool {
+	return ds.SimR(q, id) >= q.TauR && ds.SimT(q, id) >= q.TauT
+}

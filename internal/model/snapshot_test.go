@@ -1,0 +1,97 @@
+package model_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/testutil"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds, err := testutil.RandomDataset(rng, 150, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := model.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), ds.Len())
+	}
+	if got.Space() != ds.Space() {
+		t.Fatalf("Space = %v, want %v", got.Space(), ds.Space())
+	}
+	for i := 0; i < ds.Len(); i++ {
+		id := model.ObjectID(i)
+		if got.Region(id) != ds.Region(id) {
+			t.Fatalf("object %d region differs", i)
+		}
+		a, b := ds.Tokens(id), got.Tokens(id)
+		if len(a) != len(b) {
+			t.Fatalf("object %d token count differs", i)
+		}
+		for j := range a {
+			if ds.Vocab().Term(a[j]) != got.Vocab().Term(b[j]) {
+				t.Fatalf("object %d token %d differs", i, j)
+			}
+		}
+		if math.Abs(ds.TotalWeight(id)-got.TotalWeight(id)) > 1e-9 {
+			t.Fatalf("object %d total weight differs: %v vs %v", i, ds.TotalWeight(id), got.TotalWeight(id))
+		}
+	}
+	// Queries answer identically after the round trip.
+	for qi := 0; qi < 20; qi++ {
+		q, err := testutil.RandomQuery(rng, ds, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild the query against the loaded dataset with the same terms.
+		var terms []string
+		for _, tok := range q.Tokens {
+			terms = append(terms, ds.Vocab().Term(tok))
+		}
+		q2, err := got.NewQuery(q.Region, terms, q.TauR, q.TauT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// q may carry unknown-term weight that q2 lacks (we only copied the
+		// known terms); rebuild q the same way for a fair comparison.
+		q1, err := ds.NewQuery(q.Region, terms, q.TauR, q.TauT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := testutil.BruteForceAnswers(ds, q1)
+		b := testutil.BruteForceAnswers(got, q2)
+		if len(a) != len(b) {
+			t.Fatalf("q%d: %d answers before, %d after", qi, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("q%d: answers differ at %d", qi, i)
+			}
+		}
+	}
+}
+
+func TestFromSnapshotValidation(t *testing.T) {
+	if _, err := model.FromSnapshot(&model.Snapshot{Tokens: make([][]uint32, 1)}); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+	if _, err := model.FromSnapshot(&model.Snapshot{
+		Regions: []geo.Rect{{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}},
+		Tokens:  [][]uint32{{5}}, // term 5 does not exist
+		Terms:   []string{"a"},
+	}); err == nil {
+		t.Fatal("out-of-range term index should fail")
+	}
+}

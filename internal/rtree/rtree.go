@@ -1,0 +1,439 @@
+// Package rtree implements an R-tree over axis-aligned rectangles — the
+// spatial substrate of the Spatial-first baseline and the IR-tree
+// (Section 2.3). It supports bulk loading with the Sort-Tile-Recursive (STR)
+// algorithm, dynamic insertion with quadratic node splitting, and
+// intersection (range) queries.
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/sealdb/seal/internal/geo"
+)
+
+// DefaultFanout matches a 4KB page of entries (rect + pointer), the paper's
+// disk layout.
+const DefaultFanout = 64
+
+// Entry is a leaf payload: a rectangle with an opaque item ID.
+type Entry struct {
+	Rect geo.Rect
+	ID   uint32
+}
+
+type node struct {
+	rect     geo.Rect
+	children []*node // nil for leaves
+	entries  []Entry // nil for internal nodes
+}
+
+func (n *node) isLeaf() bool { return n.children == nil }
+
+// Tree is an R-tree. The zero value is not usable; create trees with New or
+// BulkLoad.
+type Tree struct {
+	root   *node
+	fanout int
+	size   int
+	height int
+}
+
+// New creates an empty tree with the given fanout (entries per node);
+// fanout < 4 is rejected because quadratic split needs room to distribute.
+func New(fanout int) (*Tree, error) {
+	if fanout < 4 {
+		return nil, fmt.Errorf("rtree: fanout %d must be at least 4", fanout)
+	}
+	return &Tree{root: &node{}, fanout: fanout, height: 1}, nil
+}
+
+// BulkLoad builds a tree over entries with the STR algorithm: entries are
+// sorted into vertical slices by x-center, each slice sorted by y-center and
+// cut into tiles of fanout entries; the procedure recurses over the
+// resulting nodes. STR yields well-clustered leaves in O(n log n).
+func BulkLoad(entries []Entry, fanout int) (*Tree, error) {
+	if fanout < 4 {
+		return nil, fmt.Errorf("rtree: fanout %d must be at least 4", fanout)
+	}
+	t := &Tree{fanout: fanout}
+	if len(entries) == 0 {
+		t.root = &node{}
+		t.height = 1
+		return t, nil
+	}
+	es := make([]Entry, len(entries))
+	copy(es, entries)
+
+	leaves := strPack(es, fanout)
+	t.size = len(es)
+	t.height = 1
+	level := leaves
+	for len(level) > 1 {
+		level = packNodes(level, fanout)
+		t.height++
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+// strPack cuts entries into fanout-sized leaves using sort-tile-recursive.
+func strPack(es []Entry, fanout int) []*node {
+	n := len(es)
+	leafCount := (n + fanout - 1) / fanout
+	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	sliceSize := sliceCount * fanout
+
+	sort.Slice(es, func(i, j int) bool {
+		xi, _ := es[i].Rect.Center()
+		xj, _ := es[j].Rect.Center()
+		if xi != xj {
+			return xi < xj
+		}
+		return es[i].ID < es[j].ID
+	})
+	var leaves []*node
+	for s := 0; s < n; s += sliceSize {
+		end := s + sliceSize
+		if end > n {
+			end = n
+		}
+		slice := es[s:end]
+		sort.Slice(slice, func(i, j int) bool {
+			_, yi := slice[i].Rect.Center()
+			_, yj := slice[j].Rect.Center()
+			if yi != yj {
+				return yi < yj
+			}
+			return slice[i].ID < slice[j].ID
+		})
+		for l := 0; l < len(slice); l += fanout {
+			lend := l + fanout
+			if lend > len(slice) {
+				lend = len(slice)
+			}
+			leaf := &node{entries: append([]Entry(nil), slice[l:lend]...)}
+			leaf.recomputeRect()
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// packNodes groups a level of nodes into parents of up to fanout children,
+// using the same tiling strategy on node centers.
+func packNodes(nodes []*node, fanout int) []*node {
+	n := len(nodes)
+	parentCount := (n + fanout - 1) / fanout
+	sliceCount := int(math.Ceil(math.Sqrt(float64(parentCount))))
+	sliceSize := sliceCount * fanout
+
+	sort.Slice(nodes, func(i, j int) bool {
+		xi, _ := nodes[i].rect.Center()
+		xj, _ := nodes[j].rect.Center()
+		return xi < xj
+	})
+	var parents []*node
+	for s := 0; s < n; s += sliceSize {
+		end := s + sliceSize
+		if end > n {
+			end = n
+		}
+		slice := nodes[s:end]
+		sort.Slice(slice, func(i, j int) bool {
+			_, yi := slice[i].rect.Center()
+			_, yj := slice[j].rect.Center()
+			return yi < yj
+		})
+		for l := 0; l < len(slice); l += fanout {
+			lend := l + fanout
+			if lend > len(slice) {
+				lend = len(slice)
+			}
+			p := &node{children: append([]*node(nil), slice[l:lend]...)}
+			p.recomputeRect()
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+func (n *node) recomputeRect() {
+	if n.isLeaf() {
+		if len(n.entries) == 0 {
+			n.rect = geo.Rect{}
+			return
+		}
+		r := n.entries[0].Rect
+		for _, e := range n.entries[1:] {
+			r = r.Extend(e.Rect)
+		}
+		n.rect = r
+		return
+	}
+	r := n.children[0].rect
+	for _, c := range n.children[1:] {
+		r = r.Extend(c.rect)
+	}
+	n.rect = r
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 for a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Bounds returns the MBR of all entries (zero Rect when empty).
+func (t *Tree) Bounds() geo.Rect { return t.root.rect }
+
+// Insert adds an entry, choosing the subtree with least area enlargement
+// and splitting overflowing nodes with the quadratic algorithm.
+func (t *Tree) Insert(e Entry) {
+	t.size++
+	if t.size == 1 && t.root.isLeaf() && len(t.root.entries) == 0 {
+		t.root.entries = append(t.root.entries, e)
+		t.root.rect = e.Rect
+		return
+	}
+	split := t.insert(t.root, e)
+	if split != nil {
+		newRoot := &node{children: []*node{t.root, split}}
+		newRoot.recomputeRect()
+		t.root = newRoot
+		t.height++
+	}
+}
+
+// insert descends to a leaf; on overflow it splits and returns the new
+// sibling, or nil.
+func (t *Tree) insert(n *node, e Entry) *node {
+	n.rect = n.rect.Extend(e.Rect)
+	if n.isLeaf() {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.fanout {
+			return t.splitLeaf(n)
+		}
+		return nil
+	}
+	best := t.chooseSubtree(n, e.Rect)
+	split := t.insert(n.children[best], e)
+	if split != nil {
+		n.children = append(n.children, split)
+		if len(n.children) > t.fanout {
+			return t.splitInternal(n)
+		}
+	}
+	return nil
+}
+
+func (t *Tree) chooseSubtree(n *node, r geo.Rect) int {
+	best := 0
+	bestEnl := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i, c := range n.children {
+		enl := c.rect.EnlargementArea(r)
+		area := c.rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// quadraticSeeds picks the pair of rectangles wasting the most area when
+// grouped, per Guttman's quadratic split.
+func quadraticSeeds(rects []geo.Rect) (int, int) {
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			waste := rects[i].Extend(rects[j]).Area() - rects[i].Area() - rects[j].Area()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	return s1, s2
+}
+
+// distribute assigns indices to two groups by least enlargement, forcing
+// assignment when one group must take all the rest to reach minimum fill.
+func distribute(rects []geo.Rect, s1, s2 int, minFill int) (g1, g2 []int) {
+	g1 = []int{s1}
+	g2 = []int{s2}
+	r1, r2 := rects[s1], rects[s2]
+	rest := make([]int, 0, len(rects)-2)
+	for i := range rects {
+		if i != s1 && i != s2 {
+			rest = append(rest, i)
+		}
+	}
+	for k, i := range rest {
+		remaining := len(rest) - k
+		if len(g1)+remaining <= minFill {
+			g1 = append(g1, i)
+			r1 = r1.Extend(rects[i])
+			continue
+		}
+		if len(g2)+remaining <= minFill {
+			g2 = append(g2, i)
+			r2 = r2.Extend(rects[i])
+			continue
+		}
+		e1 := r1.EnlargementArea(rects[i])
+		e2 := r2.EnlargementArea(rects[i])
+		if e1 < e2 || (e1 == e2 && r1.Area() <= r2.Area()) {
+			g1 = append(g1, i)
+			r1 = r1.Extend(rects[i])
+		} else {
+			g2 = append(g2, i)
+			r2 = r2.Extend(rects[i])
+		}
+	}
+	return g1, g2
+}
+
+func (t *Tree) splitLeaf(n *node) *node {
+	rects := make([]geo.Rect, len(n.entries))
+	for i, e := range n.entries {
+		rects[i] = e.Rect
+	}
+	s1, s2 := quadraticSeeds(rects)
+	g1, g2 := distribute(rects, s1, s2, t.fanout/2)
+	old := n.entries
+	n.entries = pickEntries(old, g1)
+	sib := &node{entries: pickEntries(old, g2)}
+	n.recomputeRect()
+	sib.recomputeRect()
+	return sib
+}
+
+func (t *Tree) splitInternal(n *node) *node {
+	rects := make([]geo.Rect, len(n.children))
+	for i, c := range n.children {
+		rects[i] = c.rect
+	}
+	s1, s2 := quadraticSeeds(rects)
+	g1, g2 := distribute(rects, s1, s2, t.fanout/2)
+	old := n.children
+	n.children = pickNodes(old, g1)
+	sib := &node{children: pickNodes(old, g2)}
+	n.recomputeRect()
+	sib.recomputeRect()
+	return sib
+}
+
+func pickEntries(es []Entry, idx []int) []Entry {
+	out := make([]Entry, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, es[i])
+	}
+	return out
+}
+
+func pickNodes(ns []*node, idx []int) []*node {
+	out := make([]*node, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, ns[i])
+	}
+	return out
+}
+
+// SearchIntersecting calls fn for every entry whose rectangle intersects r
+// (boundary touches included). Return false from fn to stop early.
+func (t *Tree) SearchIntersecting(r geo.Rect, fn func(Entry) bool) {
+	if t.size == 0 {
+		return
+	}
+	searchNode(t.root, r, fn)
+}
+
+func searchNode(n *node, r geo.Rect, fn func(Entry) bool) bool {
+	if !n.rect.Intersects(r) {
+		return true
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if e.Rect.Intersects(r) {
+				if !fn(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !searchNode(c, r, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchOverlapping calls fn for every entry sharing positive area with r.
+func (t *Tree) SearchOverlapping(r geo.Rect, fn func(Entry) bool) {
+	t.SearchIntersecting(r, func(e Entry) bool {
+		if e.Rect.IntersectionArea(r) > 0 {
+			return fn(e)
+		}
+		return true
+	})
+}
+
+// Validate checks structural invariants: every node rectangle contains its
+// children/entries, leaves are at uniform depth, and fill bounds hold for
+// non-root nodes after bulk load. It returns the first violation found.
+func (t *Tree) Validate() error {
+	if t.size == 0 {
+		return nil
+	}
+	depth := -1
+	var walk func(n *node, d int) error
+	walk = func(n *node, d int) error {
+		if n.isLeaf() {
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				return fmt.Errorf("rtree: leaves at depths %d and %d", depth, d)
+			}
+			for _, e := range n.entries {
+				if !n.rect.Contains(e.Rect) {
+					return fmt.Errorf("rtree: leaf rect %v misses entry %v", n.rect, e.Rect)
+				}
+			}
+			return nil
+		}
+		for _, c := range n.children {
+			if !n.rect.Contains(c.rect) {
+				return fmt.Errorf("rtree: node rect %v misses child %v", n.rect, c.rect)
+			}
+			if err := walk(c, d+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, 0)
+}
+
+// SizeBytes estimates the index footprint: each entry costs a rect + ID,
+// each internal child a rect + pointer.
+func (t *Tree) SizeBytes() int64 {
+	var nodes, entries, children int64
+	var walk func(n *node)
+	walk = func(n *node) {
+		nodes++
+		if n.isLeaf() {
+			entries += int64(len(n.entries))
+			return
+		}
+		children += int64(len(n.children))
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return entries*36 + children*40 + nodes*48
+}

@@ -1,0 +1,207 @@
+// Package text provides the textual model of SEAL: a token vocabulary with
+// inverse-document-frequency weighting and weighted set-similarity functions
+// over sorted token-ID sets (Definition 2 of the paper).
+//
+// Tokens are interned to dense uint32 IDs so that the rest of the library can
+// work with sorted integer slices; the weight of token t is
+// w(t) = ln(|O| / count(t, O)), where count(t, O) is the number of objects
+// whose token set contains t.
+package text
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TokenID is the dense identifier of an interned token.
+type TokenID uint32
+
+// Vocab is an immutable token vocabulary with per-token document counts and
+// weights. Build one with a Builder, or supply explicit weights with
+// NewWithWeights.
+type Vocab struct {
+	ids     map[string]TokenID
+	terms   []string
+	counts  []uint32
+	weights []float64
+	// rank[t] is the position of token t in the global signature order
+	// (descending weight, ties broken by ascending ID), as required by the
+	// prefix-filtering framework of Section 3.2.
+	rank []uint32
+}
+
+// Builder accumulates documents (object token sets) and produces a Vocab.
+// The zero value is ready to use.
+type Builder struct {
+	ids    map[string]TokenID
+	terms  []string
+	counts []uint32
+	docs   int
+}
+
+// Intern returns the ID for term, creating it if needed, without touching
+// document counts. Use AddDoc for counting.
+func (b *Builder) Intern(term string) TokenID {
+	if b.ids == nil {
+		b.ids = make(map[string]TokenID)
+	}
+	if id, ok := b.ids[term]; ok {
+		return id
+	}
+	id := TokenID(len(b.terms))
+	b.ids[term] = id
+	b.terms = append(b.terms, term)
+	b.counts = append(b.counts, 0)
+	return id
+}
+
+// AddDoc interns the document's terms, increments each distinct term's
+// document count once, and returns the document's sorted, de-duplicated
+// token-ID set.
+func (b *Builder) AddDoc(terms []string) []TokenID {
+	set := make([]TokenID, 0, len(terms))
+	for _, term := range terms {
+		set = append(set, b.Intern(term))
+	}
+	set = SortDedup(set)
+	for _, id := range set {
+		b.counts[id]++
+	}
+	b.docs++
+	return set
+}
+
+// Docs returns the number of documents added so far.
+func (b *Builder) Docs() int { return b.docs }
+
+// Build freezes the builder into a Vocab using idf weights
+// w(t) = ln(numDocs / count(t)). Tokens that were interned but never counted
+// (query-only terms) receive the maximum weight ln(numDocs), i.e. they are
+// treated as if they occurred once.
+func (b *Builder) Build() *Vocab {
+	n := b.docs
+	if n < 1 {
+		n = 1
+	}
+	weights := make([]float64, len(b.terms))
+	for i, c := range b.counts {
+		if c == 0 {
+			c = 1
+		}
+		w := math.Log(float64(n) / float64(c))
+		if w < 0 {
+			w = 0
+		}
+		weights[i] = w
+	}
+	v := &Vocab{
+		ids:     b.ids,
+		terms:   b.terms,
+		counts:  b.counts,
+		weights: weights,
+	}
+	v.buildRank()
+	return v
+}
+
+// NewWithWeights creates a vocabulary from parallel term/weight slices,
+// bypassing idf computation. It is used when the caller supplies domain
+// weights (and by tests reproducing the paper's rounded example weights).
+// Weights must be non-negative.
+func NewWithWeights(terms []string, weights []float64) (*Vocab, error) {
+	if len(terms) != len(weights) {
+		return nil, fmt.Errorf("text: %d terms but %d weights", len(terms), len(weights))
+	}
+	ids := make(map[string]TokenID, len(terms))
+	for i, term := range terms {
+		if _, dup := ids[term]; dup {
+			return nil, fmt.Errorf("text: duplicate term %q", term)
+		}
+		if weights[i] < 0 {
+			return nil, fmt.Errorf("text: negative weight %g for term %q", weights[i], term)
+		}
+		ids[term] = TokenID(i)
+	}
+	v := &Vocab{
+		ids:     ids,
+		terms:   append([]string(nil), terms...),
+		counts:  make([]uint32, len(terms)),
+		weights: append([]float64(nil), weights...),
+	}
+	v.buildRank()
+	return v, nil
+}
+
+func (v *Vocab) buildRank() {
+	order := make([]TokenID, len(v.terms))
+	for i := range order {
+		order[i] = TokenID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if v.weights[a] != v.weights[b] {
+			return v.weights[a] > v.weights[b]
+		}
+		return a < b
+	})
+	v.rank = make([]uint32, len(v.terms))
+	for pos, id := range order {
+		v.rank[id] = uint32(pos)
+	}
+}
+
+// Len returns the number of distinct tokens.
+func (v *Vocab) Len() int { return len(v.terms) }
+
+// Lookup returns the ID of term, if interned.
+func (v *Vocab) Lookup(term string) (TokenID, bool) {
+	id, ok := v.ids[term]
+	return id, ok
+}
+
+// Term returns the string form of id.
+func (v *Vocab) Term(id TokenID) string { return v.terms[id] }
+
+// Count returns the document count of id.
+func (v *Vocab) Count(id TokenID) uint32 { return v.counts[id] }
+
+// Weight returns w(id).
+func (v *Vocab) Weight(id TokenID) float64 { return v.weights[id] }
+
+// Rank returns the position of id in the global signature order
+// (descending weight, ascending ID on ties). Lower rank means "rarer":
+// rarer tokens come first in signature prefixes.
+func (v *Vocab) Rank(id TokenID) uint32 { return v.rank[id] }
+
+// Less reports whether a precedes b in the global signature order.
+func (v *Vocab) Less(a, b TokenID) bool { return v.rank[a] < v.rank[b] }
+
+// SortBySignatureOrder sorts ids in place by the global signature order.
+func (v *Vocab) SortBySignatureOrder(ids []TokenID) {
+	sort.Slice(ids, func(i, j int) bool { return v.rank[ids[i]] < v.rank[ids[j]] })
+}
+
+// TotalWeight returns the weight sum of the token set.
+func (v *Vocab) TotalWeight(ids []TokenID) float64 {
+	var sum float64
+	for _, id := range ids {
+		sum += v.weights[id]
+	}
+	return sum
+}
+
+// SortDedup sorts ids ascending and removes duplicates in place.
+func SortDedup(ids []TokenID) []TokenID {
+	if len(ids) < 2 {
+		return ids
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,322 @@
+package seal
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/sealdb/seal/internal/baseline"
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/gridsig"
+	"github.com/sealdb/seal/internal/irtree"
+	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/text"
+)
+
+// Rect is an axis-aligned rectangle: bottom-left (MinX, MinY) to top-right
+// (MaxX, MaxY). Coordinates are in arbitrary planar units (the similarity is
+// scale-free).
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Object is one spatio-textual region of interest to index.
+//
+// Plain objects set Region. Multi-region objects — e.g. a user whose
+// activity clusters into several areas (see ClusterRegions) — set Regions
+// instead; their spatial footprint is the union of those rectangles, with
+// exact union-area similarity at verification time, and Region is ignored.
+type Object struct {
+	Region  Rect
+	Regions []Rect
+	Tokens  []string
+}
+
+// Query is a spatio-textual similarity search: find all objects with spatial
+// similarity at least TauR and textual similarity at least TauT. Both
+// thresholds must lie in (0, 1].
+type Query struct {
+	Region Rect
+	Tokens []string
+	TauR   float64
+	TauT   float64
+}
+
+// Match is one verified answer.
+type Match struct {
+	// ID is the position of the object in the slice passed to Build.
+	ID int
+	// SimR and SimT are the exact similarities to the query.
+	SimR, SimT float64
+}
+
+// Stats reports the cost breakdown of one search.
+type Stats struct {
+	// Candidates is the number of objects that survived the filter step.
+	Candidates int
+	// Results is the number of verified answers.
+	Results int
+	// ListsProbed and PostingsScanned count inverted-index work.
+	ListsProbed     int
+	PostingsScanned int
+	// FilterTime and VerifyTime split the elapsed time by phase.
+	FilterTime time.Duration
+	VerifyTime time.Duration
+}
+
+// IndexStats describes a built index.
+type IndexStats struct {
+	Objects    int
+	Vocabulary int
+	Method     string
+	IndexBytes int64
+	BuildTime  time.Duration
+}
+
+// ErrEmptyIndex is returned by Build when no objects are supplied.
+var ErrEmptyIndex = errors.New("seal: cannot build an index over zero objects")
+
+// Index answers spatio-textual similarity queries. It is immutable after
+// Build and safe for concurrent use.
+type Index struct {
+	ds     *model.Dataset
+	filter core.Filter
+	stats  IndexStats
+
+	searchers sync.Pool
+}
+
+// Build indexes the objects. The default configuration is the paper's full
+// SEAL method; see the With* options for alternatives.
+func Build(objects []Object, opts ...Option) (*Index, error) {
+	if len(objects) == 0 {
+		return nil, ErrEmptyIndex
+	}
+	cfg := defaultOptions()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	start := time.Now()
+
+	var b model.Builder
+	b.SetSimilarity(cfg.spatialSim, cfg.textualSim)
+	for i, o := range objects {
+		if len(o.Regions) > 0 {
+			set := make(geo.RectSet, len(o.Regions))
+			for j, r := range o.Regions {
+				set[j] = rectIn(r)
+			}
+			if _, err := b.AddMulti(set, o.Tokens); err != nil {
+				return nil, fmt.Errorf("seal: object %d: %w", i, err)
+			}
+			continue
+		}
+		if _, err := b.Add(rectIn(o.Region), o.Tokens); err != nil {
+			return nil, fmt.Errorf("seal: object %d: %w", i, err)
+		}
+	}
+	var ds *model.Dataset
+	var err error
+	if cfg.weights != nil {
+		vocab, verr := vocabFromWeights(objects, cfg.weights)
+		if verr != nil {
+			return nil, verr
+		}
+		ds, err = b.BuildWithVocab(vocab)
+	} else {
+		ds, err = b.Build()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.autoSet {
+		p, aerr := autoGranularity(ds, cfg)
+		if aerr != nil {
+			return nil, aerr
+		}
+		cfg.granularity = p
+		if cfg.method == MethodSeal {
+			cfg.method = MethodGridFilter
+		}
+	}
+
+	filter, err := buildFilter(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		ds:     ds,
+		filter: filter,
+		stats: IndexStats{
+			Objects:    ds.Len(),
+			Vocabulary: ds.Vocab().Len(),
+			Method:     filter.Name(),
+			IndexBytes: filter.SizeBytes(),
+			BuildTime:  time.Since(start),
+		},
+	}
+	ix.searchers.New = func() any { return core.NewSearcher(ds, filter) }
+	return ix, nil
+}
+
+func buildFilter(ds *model.Dataset, cfg options) (core.Filter, error) {
+	switch cfg.method {
+	case MethodSeal:
+		return core.NewHierarchicalFilter(ds, core.HierarchicalConfig{
+			MaxLevel:   cfg.maxLevel,
+			GridBudget: cfg.gridBudget,
+		})
+	case MethodTokenFilter:
+		return core.NewTokenFilter(ds), nil
+	case MethodGridFilter:
+		return core.NewGridFilter(ds, cfg.granularity)
+	case MethodHybridHash:
+		return core.NewHybridHashFilter(ds, cfg.granularity, cfg.hashBuckets)
+	case MethodKeywordFirst:
+		return baseline.NewKeywordFirst(ds), nil
+	case MethodSpatialFirst:
+		return baseline.NewSpatialFirst(ds, cfg.rtreeFanout)
+	case MethodIRTree:
+		return irtree.New(ds, cfg.rtreeFanout)
+	case MethodScan:
+		return baseline.NewScan(ds), nil
+	default:
+		return nil, fmt.Errorf("seal: unknown method %d", cfg.method)
+	}
+}
+
+func vocabFromWeights(objects []Object, weights map[string]float64) (*text.Vocab, error) {
+	terms := make([]string, 0, len(weights))
+	vals := make([]float64, 0, len(weights))
+	for term, w := range weights {
+		terms = append(terms, term)
+		vals = append(vals, w)
+	}
+	// Deterministic order for reproducible token IDs.
+	sortByTerm(terms, vals)
+	vocab, err := text.NewWithWeights(terms, vals)
+	if err != nil {
+		return nil, fmt.Errorf("seal: %w", err)
+	}
+	for i, o := range objects {
+		for _, tok := range o.Tokens {
+			if _, ok := vocab.Lookup(tok); !ok {
+				return nil, fmt.Errorf("seal: object %d uses token %q missing from WithTokenWeights", i, tok)
+			}
+		}
+	}
+	return vocab, nil
+}
+
+func sortByTerm(terms []string, vals []float64) {
+	idx := make([]int, len(terms))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return terms[idx[i]] < terms[idx[j]] })
+	t2 := make([]string, len(terms))
+	v2 := make([]float64, len(vals))
+	for pos, i := range idx {
+		t2[pos] = terms[i]
+		v2[pos] = vals[i]
+	}
+	copy(terms, t2)
+	copy(vals, v2)
+}
+
+func autoGranularity(ds *model.Dataset, cfg options) (int, error) {
+	sample := make([]*model.Query, 0, len(cfg.autoGranularity))
+	for _, q := range cfg.autoGranularity {
+		mq, err := ds.NewQuery(rectIn(q.Region), q.Tokens, q.TauR, q.TauT)
+		if err != nil {
+			return 0, fmt.Errorf("seal: auto-granularity sample: %w", err)
+		}
+		sample = append(sample, mq)
+	}
+	res, err := core.SelectGranularity(ds, sample, cfg.autoMaxLevel, cfg.autoBenefit, gridsig.DefaultCostModel)
+	if err != nil {
+		return 0, fmt.Errorf("seal: auto-granularity: %w", err)
+	}
+	return res.P, nil
+}
+
+// Search answers q, returning matches sorted by object ID.
+func (ix *Index) Search(q Query) ([]Match, error) {
+	matches, _, err := ix.SearchWithStats(q)
+	return matches, err
+}
+
+// SearchWithStats answers q and reports the cost breakdown.
+func (ix *Index) SearchWithStats(q Query) ([]Match, Stats, error) {
+	mq, err := ix.ds.NewQuery(rectIn(q.Region), q.Tokens, q.TauR, q.TauT)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	s := ix.searchers.Get().(*core.Searcher)
+	defer ix.searchers.Put(s)
+	found, st := s.Search(mq)
+	matches := make([]Match, len(found))
+	for i, m := range found {
+		matches[i] = Match{ID: int(m.ID), SimR: m.SimR, SimT: m.SimT}
+	}
+	return matches, Stats{
+		Candidates:      st.Candidates,
+		Results:         st.Results,
+		ListsProbed:     st.ListsProbed,
+		PostingsScanned: st.PostingsScanned,
+		FilterTime:      st.FilterTime,
+		VerifyTime:      st.VerifyTime,
+	}, nil
+}
+
+// Similarity returns the exact spatial and textual similarities between a
+// query (thresholds ignored) and the object with the given ID.
+func (ix *Index) Similarity(q Query, id int) (simR, simT float64, err error) {
+	if id < 0 || id >= ix.ds.Len() {
+		return 0, 0, fmt.Errorf("seal: object ID %d out of range [0,%d)", id, ix.ds.Len())
+	}
+	mq, err := ix.ds.NewQuery(rectIn(q.Region), q.Tokens, 1, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	oid := model.ObjectID(id)
+	return ix.ds.SimR(mq, oid), ix.ds.SimT(mq, oid), nil
+}
+
+// Len returns the number of indexed objects.
+func (ix *Index) Len() int { return ix.ds.Len() }
+
+// Stats describes the index.
+func (ix *Index) Stats() IndexStats { return ix.stats }
+
+// TokenWeight returns the weight the index assigned to a token (idf by
+// default), and false if the token does not occur in the corpus.
+func (ix *Index) TokenWeight(token string) (float64, bool) {
+	id, ok := ix.ds.Vocab().Lookup(token)
+	if !ok {
+		return 0, false
+	}
+	return ix.ds.Vocab().Weight(id), true
+}
+
+func rectIn(r Rect) geo.Rect {
+	return geo.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+}
+
+func modelObjectID(id int) model.ObjectID { return model.ObjectID(id) }
+
+func defaultParallelism(n int) int {
+	p := runtime.GOMAXPROCS(0)
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
