@@ -1,25 +1,51 @@
 // Command sealbench regenerates the tables and figures of the SEAL paper's
 // evaluation (Section 6) against the synthetic workloads described in
-// DESIGN.md. Without flags it runs every experiment at the default scale;
-// use -exp to select one and -objects/-queries to rescale.
+// DESIGN.md, plus the engine-level shard-scaling experiment. Without flags it
+// runs every experiment at the default scale; use -exp to select one and
+// -objects/-queries to rescale.
+//
+// With -json, sealbench emits one JSON record per experiment on stdout so
+// experiment trajectories can be tracked across commits by machines.
+// Experiments with a machine-readable producer (e.g. shards) embed their
+// data in the record instead of printing a table; the remaining experiments'
+// human-readable tables move to stderr:
+//
+//	{"experiment":"shards","objects":60000,...,"elapsed_ms":1234.5,"data":[...]}
 //
 // Examples:
 //
 //	sealbench                        # everything, default scale
 //	sealbench -exp fig16             # one experiment
 //	sealbench -exp table1 -objects 100000
+//	sealbench -exp shards -shards 1,2,4,8,16
+//	sealbench -json -smoke           # JSON records, tiny configuration
 //	sealbench -list                  # show available experiments
-//	sealbench -smoke                 # tiny, fast configuration
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"github.com/sealdb/seal/internal/bench"
 )
+
+// record is one -json output line.
+type record struct {
+	Experiment string  `json:"experiment"`
+	Objects    int     `json:"objects"`
+	Queries    int     `json:"queries"`
+	Seed       int64   `json:"seed"`
+	Budget     int     `json:"budget"`
+	Level      int     `json:"level"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	Data       any     `json:"data,omitempty"`
+}
 
 func main() {
 	var (
@@ -29,6 +55,8 @@ func main() {
 		seed    = flag.Int64("seed", bench.DefaultConfig.Seed, "master random seed")
 		budget  = flag.Int("budget", bench.DefaultConfig.HierBudget, "per-token grid budget m_t for Seal")
 		level   = flag.Int("level", bench.DefaultConfig.HierMaxLevel, "grid-tree depth for Seal")
+		shards  = flag.String("shards", "", "comma-separated shard counts for the shards experiment (default 1,2,4,8)")
+		jsonOut = flag.Bool("json", false, "emit one JSON record per experiment on stdout (tables go to stderr)")
 		smoke   = flag.Bool("smoke", false, "use the tiny smoke-test configuration")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		quiet   = flag.Bool("q", false, "suppress progress logging")
@@ -46,22 +74,45 @@ func main() {
 	if *smoke {
 		cfg = bench.SmokeConfig
 	}
-	if *objects != bench.DefaultConfig.TwitterN {
-		cfg.TwitterN = *objects
-		cfg.USAN = *objects
+	// Explicitly-set flags override whichever base config is active (a
+	// sentinel compare against the default value would silently ignore
+	// `-smoke -objects 60000`).
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "objects":
+			cfg.TwitterN = *objects
+			cfg.USAN = *objects
+		case "queries":
+			cfg.Queries = *queries
+		case "seed":
+			cfg.Seed = *seed
+		case "budget":
+			cfg.HierBudget = *budget
+		case "level":
+			cfg.HierMaxLevel = *level
+		}
+	})
+	if *shards != "" {
+		sweep, err := parseShards(*shards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sealbench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.ShardSweep = sweep
 	}
-	if *queries != bench.DefaultConfig.Queries {
-		cfg.Queries = *queries
+
+	out := io.Writer(os.Stdout)
+	var enc *json.Encoder
+	if *jsonOut {
+		out = os.Stderr
+		enc = json.NewEncoder(os.Stdout)
 	}
-	cfg.Seed = *seed
-	cfg.HierBudget = *budget
-	cfg.HierMaxLevel = *level
 
 	env := bench.NewEnv(cfg)
 	if !*quiet {
 		env.Log = os.Stderr
 	}
-	fmt.Printf("# sealbench: objects=%d queries=%d seed=%d budget=%d level=%d\n",
+	fmt.Fprintf(out, "# sealbench: objects=%d queries=%d seed=%d budget=%d level=%d\n",
 		cfg.TwitterN, cfg.Queries, cfg.Seed, cfg.HierBudget, cfg.HierMaxLevel)
 
 	names := strings.Split(*expName, ",")
@@ -77,9 +128,47 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sealbench: unknown experiment %q (try -list)\n", name)
 			os.Exit(2)
 		}
-		if err := exp.Run(os.Stdout, env); err != nil {
+		start := time.Now()
+		var data any
+		var err error
+		if enc != nil && exp.JSON != nil {
+			data, err = exp.JSON(env)
+		} else {
+			err = exp.Run(out, env)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "sealbench: %s: %v\n", exp.Name, err)
 			os.Exit(1)
 		}
+		if enc != nil {
+			rec := record{
+				Experiment: exp.Name,
+				Objects:    cfg.TwitterN,
+				Queries:    cfg.Queries,
+				Seed:       cfg.Seed,
+				Budget:     cfg.HierBudget,
+				Level:      cfg.HierMaxLevel,
+				ElapsedMS:  float64(time.Since(start).Microseconds()) / 1e3,
+				Data:       data,
+			}
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintf(os.Stderr, "sealbench: encoding %s: %v\n", exp.Name, err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// parseShards parses "1,2,4,8" into a sweep.
+func parseShards(s string) ([]int, error) {
+	fields := strings.Split(s, ",")
+	sweep := make([]int, 0, len(fields))
+	for _, f := range fields {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid -shards value %q", f)
+		}
+		sweep = append(sweep, n)
+	}
+	return sweep, nil
 }

@@ -40,4 +40,23 @@
 //
 // All methods return exactly the same answers — every filter is complete —
 // so the choice only affects speed and index size.
+//
+// # Sharding and concurrency
+//
+// WithShards(n) splits the index into n spatial partitions (Z-order
+// chunks of near-equal size, round-robin for degenerate distributions).
+// Shards build concurrently — WithBuildParallelism bounds the workers — and
+// every search runs scatter-gather: shards search in parallel with pooled
+// per-shard searchers, results merge in the monolithic order, and top-k
+// descents prune cooperatively against the running global k-th-best score.
+// Sharding never changes answers; every shard count returns exactly the
+// matches, similarities and top-k order of the 1-shard index, which remains
+// the default.
+//
+// # Context-aware search
+//
+// SearchContext, SearchTopKContext and SearchBatchContext honor
+// context.Context: a canceled context or an expired deadline stops the
+// scatter mid-flight and returns ctx's error promptly. SearchBatch cancels
+// its outstanding queries as soon as one query fails.
 package seal

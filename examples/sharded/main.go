@@ -1,0 +1,119 @@
+// Command sharded demonstrates the scatter-gather engine: a synthetic
+// city-scale dataset is indexed across several spatial shards that build in
+// parallel, queries fan out across shards concurrently (including a
+// cooperative top-k), and a deadline cuts a batch short via context.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"time"
+
+	seal "github.com/sealdb/seal"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	categories := []string{"coffee", "tea", "bakery", "books", "vinyl", "ramen",
+		"tacos", "climbing", "cinema", "jazz", "park", "museum"}
+
+	// 50k venue profiles spread over a 1000×1000 city grid.
+	objects := make([]seal.Object, 50000)
+	for i := range objects {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		tokens := make([]string, 1+rng.Intn(4))
+		for j := range tokens {
+			tokens[j] = categories[rng.Intn(len(categories))]
+		}
+		objects[i] = seal.Object{
+			Region: seal.Rect{MinX: x, MinY: y, MaxX: x + 2 + rng.Float64()*10, MaxY: y + 2 + rng.Float64()*10},
+			Tokens: tokens,
+		}
+	}
+
+	shards := runtime.GOMAXPROCS(0)
+	if shards < 4 {
+		shards = 4
+	}
+	start := time.Now()
+	ix, err := seal.Build(objects,
+		seal.WithMethod(seal.MethodGridFilter),
+		seal.WithGranularity(256),
+		seal.WithShards(shards),      // spatial partitions, searched scatter-gather
+		seal.WithBuildParallelism(0), // 0 = one build worker per CPU
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := ix.Stats()
+	fmt.Printf("built %d objects into %d shards in %v (method=%s, %d KiB)\n",
+		st.Objects, st.Shards, time.Since(start).Round(time.Millisecond), st.Method, st.IndexBytes/1024)
+
+	// One threshold query: every shard searches concurrently and the merged
+	// stats sum the per-shard work.
+	query := seal.Query{
+		Region: seal.Rect{MinX: 505, MinY: 505, MaxX: 530, MaxY: 530},
+		Tokens: []string{"coffee", "jazz"},
+		TauR:   0.02,
+		TauT:   0.2,
+	}
+	matches, stats, err := ix.SearchWithStats(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("threshold search: %d matches from %d candidates across shards\n",
+		len(matches), stats.Candidates)
+
+	// Top-k with cooperative pruning: shards share the running k-th-best
+	// score, so a shard whose remaining objects cannot reach it stops early.
+	top, err := ix.SearchTopKContext(context.Background(), seal.TopKQuery{
+		Region: query.Region,
+		Tokens: query.Tokens,
+		K:      5,
+		Alpha:  0.5,
+		FloorR: 0.01,
+		FloorT: 0.01,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-5 by combined score:")
+	for i, m := range top {
+		fmt.Printf("  %d. venue %d score=%.3f (simR=%.2f simT=%.2f)\n", i+1, m.ID, m.Score, m.SimR, m.SimT)
+	}
+
+	// A batch under a deadline: when the context expires, outstanding
+	// queries are canceled instead of running to completion.
+	batch := make([]seal.Query, 2000)
+	for i := range batch {
+		x, y := rng.Float64()*950, rng.Float64()*950
+		batch[i] = seal.Query{
+			Region: seal.Rect{MinX: x, MinY: y, MaxX: x + 50, MaxY: y + 50},
+			Tokens: []string{categories[rng.Intn(len(categories))]},
+			TauR:   0.05,
+			TauT:   0.2,
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	results, err := ix.SearchBatchContext(ctx, batch, 0)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Printf("batch hit its 250ms deadline after %v — outstanding queries were canceled\n",
+			time.Since(start).Round(time.Millisecond))
+	case err != nil:
+		log.Fatal(err)
+	default:
+		total := 0
+		for _, r := range results {
+			total += len(r)
+		}
+		fmt.Printf("batch of %d queries finished in %v with %d total matches\n",
+			len(batch), time.Since(start).Round(time.Millisecond), total)
+	}
+}

@@ -64,12 +64,14 @@ func main() {
 		}
 	}
 
-	ix, err := seal.Build(users)
+	// Shard the audience index: campaigns run many store queries, and each
+	// one fans out across the shards; answers are identical to one shard.
+	ix, err := seal.Build(users, seal.WithShards(4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("indexed %d user profiles (%s, %.1f MB)\n\n",
-		ix.Len(), ix.Stats().Method, float64(ix.Stats().IndexBytes)/(1<<20))
+	fmt.Printf("indexed %d user profiles (%s, %d shards, %.1f MB)\n\n",
+		ix.Len(), ix.Stats().Method, ix.Stats().Shards, float64(ix.Stats().IndexBytes)/(1<<20))
 
 	// Three stores, each with a delivery/service area and a product profile.
 	stores := []struct {

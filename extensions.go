@@ -7,11 +7,12 @@ package seal
 // execution.
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"github.com/sealdb/seal/internal/cluster"
 	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/engine"
 	"github.com/sealdb/seal/internal/geo"
 )
 
@@ -64,9 +65,15 @@ type ScoredMatch struct {
 // SearchTopK answers a top-k query. Fewer than K results are returned when
 // fewer objects satisfy the floors.
 func (ix *Index) SearchTopK(q TopKQuery) ([]ScoredMatch, error) {
-	s := ix.searchers.Get().(*core.Searcher)
-	defer ix.searchers.Put(s)
-	found, err := s.TopK(rectIn(q.Region), q.Tokens, core.TopKOptions{
+	return ix.SearchTopKContext(context.Background(), q)
+}
+
+// SearchTopKContext is SearchTopK honoring ctx: shards poll the context
+// between descent rounds, so cancellation and deadlines cut the search short
+// with ctx's error. On a sharded index the shards prune cooperatively
+// against the running global k-th-best score.
+func (ix *Index) SearchTopKContext(ctx context.Context, q TopKQuery) ([]ScoredMatch, error) {
+	found, err := ix.eng.TopK(ctx, rectIn(q.Region), q.Tokens, core.TopKOptions{
 		K:      q.K,
 		Alpha:  q.Alpha,
 		FloorR: q.FloorR,
@@ -101,37 +108,32 @@ func (ix *Index) Footprint(id int) ([]Rect, error) {
 
 // SearchBatch answers many queries concurrently with the given parallelism
 // (values < 1 mean one goroutine per available CPU, capped at the query
-// count). Results are positionally aligned with the input; the first error
-// aborts the batch.
+// count). Results are positionally aligned with the input. The first failure
+// cancels the queries still outstanding and aborts the batch with that
+// query's error.
 func (ix *Index) SearchBatch(queries []Query, parallelism int) ([][]Match, error) {
+	return ix.SearchBatchContext(context.Background(), queries, parallelism)
+}
+
+// SearchBatchContext is SearchBatch honoring ctx: canceling the context (or
+// passing its deadline) stops the batch early with ctx's error.
+func (ix *Index) SearchBatchContext(ctx context.Context, queries []Query, parallelism int) ([][]Match, error) {
 	if parallelism < 1 {
 		parallelism = defaultParallelism(len(queries))
 	}
-	if parallelism > len(queries) {
-		parallelism = len(queries)
-	}
 	results := make([][]Match, len(queries))
-	errs := make([]error, len(queries))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i], errs[i] = ix.Search(queries[i])
-			}
-		}()
-	}
-	for i := range queries {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for i, err := range errs {
+	err := engine.ForEach(ctx, len(queries), parallelism, func(ctx context.Context, i int) error {
+		// SearchBatched: the scatter loop observes cancellation between
+		// queries, so individual queries skip the mid-flight watcher.
+		matches, _, err := ix.search(ctx, queries[i], ix.eng.SearchBatched)
 		if err != nil {
-			return nil, fmt.Errorf("seal: batch query %d: %w", i, err)
+			return fmt.Errorf("seal: batch query %d: %w", i, err)
 		}
+		results[i] = matches
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }

@@ -1,0 +1,3 @@
+module github.com/sealdb/seal
+
+go 1.24

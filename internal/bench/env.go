@@ -32,6 +32,9 @@ type Config struct {
 	HierBudget   int   // per-token grid budget m_t for Seal
 	HierMaxLevel int   // grid-tree depth for Seal
 	RTreeFanout  int   // IR-tree/R-tree fanout
+	// ShardSweep lists the shard counts of the shard-scaling experiment;
+	// empty means {1, 2, 4, 8}.
+	ShardSweep []int
 }
 
 // DefaultConfig is the full experiment scale (about a minute of dataset and

@@ -29,6 +29,14 @@ type FilterStats struct {
 	Candidates int
 }
 
+// Add accumulates other's counters into s. It is the merge step of
+// scatter-gather search: per-shard filter work sums into one report.
+func (s *FilterStats) Add(other FilterStats) {
+	s.ListsProbed += other.ListsProbed
+	s.PostingsScanned += other.PostingsScanned
+	s.Candidates += other.Candidates
+}
+
 // Filter generates candidate objects whose signatures are similar to the
 // query's (the filter step of Figure 3).
 type Filter interface {
@@ -104,6 +112,16 @@ type SearchStats struct {
 
 // Elapsed returns the total query time.
 func (s SearchStats) Elapsed() time.Duration { return s.FilterTime + s.VerifyTime }
+
+// Merge accumulates another (sub)search's cost into s. Counters add, and so
+// do the phase times: after merging shard searches that ran concurrently, the
+// times report aggregate work across shards, not wall-clock time.
+func (s *SearchStats) Merge(other SearchStats) {
+	s.FilterStats.Add(other.FilterStats)
+	s.Results += other.Results
+	s.FilterTime += other.FilterTime
+	s.VerifyTime += other.VerifyTime
+}
 
 // Searcher runs the two-step SealSig algorithm: filter, then verify.
 // A Searcher reuses internal buffers and is not safe for concurrent use;

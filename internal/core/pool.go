@@ -1,0 +1,28 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/sealdb/seal/internal/model"
+)
+
+// SearcherPool hands out Searchers over one dataset/filter pair. Searchers
+// reuse internal buffers and are not safe for concurrent use, so concurrent
+// callers each Get one, search, and Put it back. The zero value is unusable;
+// create pools with NewSearcherPool.
+type SearcherPool struct {
+	pool sync.Pool
+}
+
+// NewSearcherPool creates a pool whose searchers run f over ds.
+func NewSearcherPool(ds *model.Dataset, f Filter) *SearcherPool {
+	p := &SearcherPool{}
+	p.pool.New = func() any { return NewSearcher(ds, f) }
+	return p
+}
+
+// Get returns a ready searcher, creating one if the pool is empty.
+func (p *SearcherPool) Get() *Searcher { return p.pool.Get().(*Searcher) }
+
+// Put returns a searcher obtained from Get for reuse.
+func (p *SearcherPool) Put(s *Searcher) { p.pool.Put(s) }

@@ -35,6 +35,34 @@ type TopKOptions struct {
 	// other and cannot be ranked meaningfully by a similarity search.
 	// Zero values default to 0.05.
 	FloorR, FloorT float64
+
+	// The hooks below exist for sharded scatter-gather top-k, where several
+	// TopK descents run concurrently over disjoint shards and prune against
+	// the best scores seen anywhere. All are optional.
+
+	// Compile, when non-nil, compiles the descent's threshold queries in
+	// place of the searcher dataset's NewQuery. Sharded search passes the
+	// root dataset's NewQuery here: a query compiled against the root is
+	// valid on every shard (they share the vocabulary and weight table), and
+	// compiling against a shard would skew unknown-term weights, which
+	// depend on the dataset's object count.
+	Compile func(region geo.Rect, terms []string, tauR, tauT float64) (*model.Query, error)
+
+	// Interrupt, when non-nil, is polled once per descent round; a non-nil
+	// error aborts the search and is returned verbatim. Pass ctx.Err to make
+	// a descent honor context cancellation.
+	Interrupt func() error
+	// Observe, when non-nil, receives the provably-complete result prefix
+	// after every descent round: entries whose score is at or above the
+	// current score line, which no unseen object can outrank. Entries use
+	// this searcher's local object IDs.
+	Observe func(complete []ScoredMatch)
+	// StopBelow, when non-nil, returns an external lower bound on the k-th
+	// best score (e.g. the running global k-th across all shards). Once the
+	// descent's score line reaches that bound, every unseen local object
+	// scores strictly below it and cannot enter the global top k, so the
+	// descent stops early and returns what it has.
+	StopBelow func() float64
 }
 
 // ScoredMatch is one top-k result.
@@ -63,15 +91,27 @@ func (s *Searcher) TopK(region geo.Rect, terms []string, opts TopKOptions) ([]Sc
 		return nil, fmt.Errorf("core: floors (%g, %g) outside (0,1]", opts.FloorR, opts.FloorT)
 	}
 
+	compile := opts.Compile
+	if compile == nil {
+		compile = s.ds.NewQuery
+	}
 	for score := 1.0; ; score /= 2 {
+		if opts.Interrupt != nil {
+			if err := opts.Interrupt(); err != nil {
+				return nil, err
+			}
+		}
 		tauR := thresholdFor(score, opts.Alpha, opts.FloorR)
 		tauT := thresholdFor(score, 1-opts.Alpha, opts.FloorT)
-		q, err := s.ds.NewQuery(region, terms, tauR, tauT)
+		q, err := compile(region, terms, tauR, tauT)
 		if err != nil {
 			return nil, err
 		}
 		matches, _ := s.Search(q)
 		ranked, complete := rankMatches(matches, opts, score)
+		if opts.Observe != nil {
+			opts.Observe(ranked[:complete])
+		}
 		// Entries with score ≥ the current line are provably the best ones
 		// overall; entries below the line may have unseen peers unless the
 		// thresholds have saturated at the floors (then the search returned
@@ -84,6 +124,12 @@ func (s *Searcher) TopK(region geo.Rect, terms []string, opts TopKOptions) ([]Sc
 				ranked = ranked[:opts.K]
 			}
 			return ranked, nil
+		}
+		if opts.StopBelow != nil && opts.StopBelow() >= score {
+			// Every unseen object here scores below the current line, hence
+			// below the external k-th-best bound: it can never reach the
+			// global top k, so deeper descent is wasted work.
+			return ranked[:complete], nil
 		}
 	}
 }

@@ -1,0 +1,128 @@
+// Package engine owns query execution for the public API. It spatially
+// partitions a dataset into shards, builds every shard's filter in parallel,
+// and answers queries by concurrent scatter-gather: each shard keeps its own
+// searcher pool, per-shard stats merge into one report, and top-k queries
+// share a running k-th-best score so shards prune each other's descents.
+//
+// Sharding is exact by construction. Shard datasets are model.Dataset
+// subsets that share the parent's vocabulary, token weights, and space
+// rectangle, so per-shard verification is bit-identical to the monolithic
+// index and the union of shard answers equals the unsharded answer set. A
+// one-shard engine reuses the parent dataset directly and preserves the
+// pre-engine behavior and layout exactly.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/model"
+)
+
+// Config sizes an engine.
+type Config struct {
+	// Shards is the number of spatial partitions. Values below 1 mean 1; the
+	// count is capped at the object count so no shard is empty.
+	Shards int
+	// BuildParallelism bounds the workers building shard filters. Values
+	// below 1 mean GOMAXPROCS.
+	BuildParallelism int
+	// NewFilter builds one shard's filter over that shard's dataset. It must
+	// be safe to call concurrently (each call receives a distinct dataset).
+	NewFilter func(ds *model.Dataset) (core.Filter, error)
+}
+
+// shard is one partition: a subset dataset, its filter, the local→global
+// object ID mapping, and a pool of reusable searchers.
+type shard struct {
+	ds        *model.Dataset
+	filter    core.Filter
+	globalIDs []model.ObjectID // nil ⇒ identity (the single-shard fast path)
+	pool      *core.SearcherPool
+}
+
+// global translates a shard-local object ID to the parent dataset's ID.
+func (s *shard) global(id model.ObjectID) model.ObjectID {
+	if s.globalIDs == nil {
+		return id
+	}
+	return s.globalIDs[id]
+}
+
+// Engine answers queries over a sharded dataset. It is immutable after Build
+// and safe for concurrent use.
+type Engine struct {
+	root   *model.Dataset
+	shards []*shard
+}
+
+// Build partitions root into cfg.Shards spatial shards and constructs each
+// shard's filter, running up to cfg.BuildParallelism constructions
+// concurrently.
+func Build(root *model.Dataset, cfg Config) (*Engine, error) {
+	if cfg.NewFilter == nil {
+		return nil, errors.New("engine: Config.NewFilter is required")
+	}
+	if root == nil || root.Len() == 0 {
+		return nil, errors.New("engine: cannot build over an empty dataset")
+	}
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	if n > root.Len() {
+		n = root.Len()
+	}
+	e := &Engine{root: root}
+	if n == 1 {
+		f, err := cfg.NewFilter(root)
+		if err != nil {
+			return nil, err
+		}
+		e.shards = []*shard{{ds: root, filter: f, pool: core.NewSearcherPool(root, f)}}
+		return e, nil
+	}
+
+	parts := partition(root, n)
+	par := cfg.BuildParallelism
+	if par < 1 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	shards := make([]*shard, len(parts))
+	err := ForEach(context.Background(), len(parts), par, func(_ context.Context, i int) error {
+		sub, err := root.Subset(parts[i])
+		if err != nil {
+			return fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+		f, err := cfg.NewFilter(sub)
+		if err != nil {
+			return fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+		shards[i] = &shard{ds: sub, filter: f, globalIDs: parts[i], pool: core.NewSearcherPool(sub, f)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.shards = shards
+	return e, nil
+}
+
+// Shards returns the number of shards actually built.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// FilterName identifies the per-shard filter (all shards use the same
+// configuration, so shard 0 speaks for everyone).
+func (e *Engine) FilterName() string { return e.shards[0].filter.Name() }
+
+// SizeBytes sums the index footprint across shards.
+func (e *Engine) SizeBytes() int64 {
+	var n int64
+	for _, s := range e.shards {
+		n += s.filter.SizeBytes()
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"sort"
+
+	"github.com/sealdb/seal/internal/model"
+)
+
+// partition splits root's objects into n spatially coherent parts of
+// near-equal size: objects sort by the Morton (Z-order) code of their region
+// center within the dataset space, and the sorted order is cut into n
+// contiguous runs. Equal sizes keep build and query work balanced across
+// shards; spatial coherence keeps a query's region overlapping few shards'
+// populated cells, so most shards prune cheaply.
+//
+// Degenerate distributions — every center identical, e.g. a dataset of
+// clones — collapse to a single Morton code, where a spatial split is
+// meaningless; those fall back to round-robin assignment, which preserves
+// the size balance. Each returned part is sorted by ascending object ID so
+// shard-local ID order agrees with global ID order.
+//
+// n must satisfy 1 ≤ n ≤ root.Len(); every part is non-empty.
+func partition(root *model.Dataset, n int) [][]model.ObjectID {
+	total := root.Len()
+	space := root.Space()
+	type keyed struct {
+		code uint64
+		id   model.ObjectID
+	}
+	order := make([]keyed, total)
+	for i := 0; i < total; i++ {
+		id := model.ObjectID(i)
+		r := root.Region(id)
+		cx, cy := (r.MinX+r.MaxX)/2, (r.MinY+r.MaxY)/2
+		order[i] = keyed{code: mortonCode(normalize(cx, space.MinX, space.MaxX), normalize(cy, space.MinY, space.MaxY)), id: id}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].code != order[b].code {
+			return order[a].code < order[b].code
+		}
+		return order[a].id < order[b].id
+	})
+
+	parts := make([][]model.ObjectID, n)
+	if order[0].code == order[total-1].code {
+		// Degenerate: every object hashes to the same point. Round-robin.
+		for i, k := range order {
+			parts[i%n] = append(parts[i%n], k.id)
+		}
+	} else {
+		for p := 0; p < n; p++ {
+			lo, hi := p*total/n, (p+1)*total/n
+			ids := make([]model.ObjectID, hi-lo)
+			for i := lo; i < hi; i++ {
+				ids[i-lo] = order[i].id
+			}
+			parts[p] = ids
+		}
+	}
+	for _, ids := range parts {
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	}
+	return parts
+}
+
+// normalize maps v into [0, 1] within [lo, hi]; a zero-extent axis maps
+// everything to 0 so the Morton code degrades to the other axis.
+func normalize(v, lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	f := (v - lo) / (hi - lo)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// mortonCode interleaves 21-bit quantizations of x and y (both in [0, 1])
+// into a 42-bit Z-order code.
+func mortonCode(x, y float64) uint64 {
+	const maxQ = 1<<21 - 1
+	return spread(uint64(x*maxQ)) | spread(uint64(y*maxQ))<<1
+}
+
+// spread spaces the low 21 bits of v apart so every other bit is free.
+func spread(v uint64) uint64 {
+	v &= 0x1fffff
+	v = (v | v<<32) & 0x1f00000000ffff
+	v = (v | v<<16) & 0x1f0000ff0000ff
+	v = (v | v<<8) & 0x100f00f00f00f00f
+	v = (v | v<<4) & 0x10c30c30c30c30c3
+	v = (v | v<<2) & 0x1249249249249249
+	return v
+}

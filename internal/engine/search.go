@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/model"
+)
+
+// Search answers a compiled threshold query by scatter-gather: every shard
+// searches concurrently with a pooled searcher, shard matches remap to
+// global object IDs, and per-shard stats merge into one report. Matches
+// return sorted by global object ID, exactly as a monolithic search would.
+//
+// The query must be compiled against the engine's root dataset (shards share
+// its vocabulary and weights, so the compiled form is valid on every shard).
+//
+// Cancellation is prompt: if ctx expires mid-scatter, Search returns
+// ctx.Err() immediately without waiting for in-flight shard searches, which
+// finish in the background and are discarded.
+func (e *Engine) Search(ctx context.Context, q *model.Query) ([]core.Match, core.SearchStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, core.SearchStats{}, err
+	}
+	if len(e.shards) == 1 {
+		if ctx.Done() == nil {
+			// Non-cancellable context (e.g. context.Background()): run on
+			// the calling goroutine, exactly the pre-engine layout.
+			matches, st := e.searchSingle(q)
+			return matches, st, nil
+		}
+		// Cancellable context: the search runs aside so an expiring ctx
+		// returns promptly; an abandoned search finishes in the background
+		// and is discarded.
+		type result struct {
+			matches []core.Match
+			st      core.SearchStats
+		}
+		done := make(chan result, 1)
+		go func() {
+			matches, st := e.searchSingle(q)
+			done <- result{matches, st}
+		}()
+		select {
+		case r := <-done:
+			// The context may have expired while the search was finishing
+			// (select picks randomly among ready cases); prefer ctx's error
+			// so an expired deadline never yields a nil-error result.
+			if err := ctx.Err(); err != nil {
+				return nil, core.SearchStats{}, err
+			}
+			return r.matches, r.st, nil
+		case <-ctx.Done():
+			return nil, core.SearchStats{}, ctx.Err()
+		}
+	}
+	return e.searchScatter(ctx, q)
+}
+
+// SearchBatched is Search for batch workers: ctx gates the start of the
+// query but is not watched mid-query — the enclosing scatter loop observes
+// cancellation between queries — so the single-shard fast path stays free of
+// per-query goroutines and channels.
+func (e *Engine) SearchBatched(ctx context.Context, q *model.Query) ([]core.Match, core.SearchStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, core.SearchStats{}, err
+	}
+	if len(e.shards) == 1 {
+		matches, st := e.searchSingle(q)
+		return matches, st, nil
+	}
+	return e.searchScatter(ctx, q)
+}
+
+// searchSingle runs q synchronously on a single-shard engine.
+func (e *Engine) searchSingle(q *model.Query) ([]core.Match, core.SearchStats) {
+	s := e.shards[0]
+	sr := s.pool.Get()
+	matches, st := sr.Search(q)
+	s.pool.Put(sr)
+	return matches, st
+}
+
+// searchScatter fans q out across all shards concurrently and gathers the
+// remapped, ID-ordered union.
+func (e *Engine) searchScatter(ctx context.Context, q *model.Query) ([]core.Match, core.SearchStats, error) {
+	type shardResult struct {
+		matches []core.Match
+		st      core.SearchStats
+	}
+	results := make([]shardResult, len(e.shards))
+	var wg sync.WaitGroup
+	for i, s := range e.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			sr := s.pool.Get()
+			matches, st := sr.Search(q)
+			s.pool.Put(sr)
+			for j := range matches {
+				matches[j].ID = s.global(matches[j].ID)
+			}
+			results[i] = shardResult{matches: matches, st: st}
+		}(i, s)
+	}
+	if ctx.Done() == nil {
+		// Non-cancellable context: nothing can interrupt the gather, so
+		// skip the watcher goroutine and wait directly.
+		wg.Wait()
+	} else {
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return nil, core.SearchStats{}, ctx.Err()
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, core.SearchStats{}, err
+		}
+	}
+
+	var st core.SearchStats
+	total := 0
+	for _, r := range results {
+		total += len(r.matches)
+	}
+	merged := make([]core.Match, 0, total)
+	for _, r := range results {
+		merged = append(merged, r.matches...)
+		st.Merge(r.st)
+	}
+	// Shard partitions are ID-sorted and disjoint, so this is a k-way merge
+	// of sorted runs; a plain sort keeps it simple.
+	sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
+	return merged, st, nil
+}
+
+// ForEach is the engine's scatter helper: it runs fn(ctx, i) for every
+// i in [0, n) across at most parallelism goroutines. The first failure (or
+// ctx expiring) cancels the context handed to outstanding calls and stops
+// feeding new indexes; ForEach waits for started calls to return. The error
+// reported is the first failure observed, or ctx's error when the parent
+// context expired first.
+func ForEach(ctx context.Context, n, parallelism int, fn func(ctx context.Context, i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		once  sync.Once
+		cause error
+		wg    sync.WaitGroup
+	)
+	fail := func(err error) {
+		// An error that merely echoes the scatter's own canceled context is
+		// not a cause: either a real failure already holds the once (our
+		// cancel), or the parent expired and ForEach must report ctx.Err()
+		// itself, not an arbitrary worker's wrapped copy of it.
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			cancel()
+			return
+		}
+		once.Do(func() { cause = err })
+		cancel()
+	}
+	next := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain: the batch is already failed or canceled
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if cause != nil {
+		return cause
+	}
+	return ctx.Err()
+}

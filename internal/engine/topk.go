@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"container/heap"
+	"context"
+	"sort"
+	"sync"
+
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/geo"
+)
+
+// TopK answers a top-k query by scatter-gather with global-threshold
+// pruning: every shard runs the threshold-descent TopK concurrently, reports
+// its provably-complete results to a shared tracker after each round, and
+// stops descending as soon as the running global k-th-best score proves its
+// unseen objects irrelevant. The surviving per-shard lists — each sorted by
+// descending score — merge through a heap into the global top k.
+//
+// The merge is exact: a shard stops early only when every object it has not
+// yet retrieved scores strictly below k already-retrieved objects, so the
+// global top k is always contained in the gathered lists, and ties break by
+// ascending global object ID exactly as in the unsharded search.
+func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts core.TopKOptions) ([]core.ScoredMatch, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if opts.Interrupt == nil {
+		opts.Interrupt = ctx.Err
+	}
+	// Descent queries must compile against the root dataset: unknown-term
+	// weights depend on the total object count, and shards answer with the
+	// root's weights so their scores match the monolithic index exactly.
+	opts.Compile = e.root.NewQuery
+	if len(e.shards) == 1 {
+		s := e.shards[0]
+		sr := s.pool.Get()
+		defer s.pool.Put(sr)
+		return sr.TopK(region, terms, opts)
+	}
+
+	tracker := newKthTracker(len(e.shards), opts.K)
+	lists := make([][]core.ScoredMatch, len(e.shards))
+	err := ForEach(ctx, len(e.shards), len(e.shards), func(ctx context.Context, i int) error {
+		s := e.shards[i]
+		o := opts
+		o.Interrupt = ctx.Err
+		o.Observe = func(complete []core.ScoredMatch) { tracker.observe(i, complete) }
+		o.StopBelow = tracker.kth
+		sr := s.pool.Get()
+		found, err := sr.TopK(region, terms, o)
+		s.pool.Put(sr)
+		if err != nil {
+			return err
+		}
+		for j := range found {
+			found[j].ID = s.global(found[j].ID)
+		}
+		lists[i] = found
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeTopK(lists, opts.K), nil
+}
+
+// kthTracker maintains the running global k-th-best score across shards.
+// Each shard replaces its contribution after every descent round (the
+// complete prefix only grows), so the tracked bound only rises and is always
+// witnessed by k genuinely retrieved objects.
+type kthTracker struct {
+	mu     sync.Mutex
+	k      int
+	scores [][]float64 // per shard, descending, at most k entries
+}
+
+func newKthTracker(shards, k int) *kthTracker {
+	return &kthTracker{k: k, scores: make([][]float64, shards)}
+}
+
+// observe replaces shard i's contribution with the scores of its current
+// complete prefix (already sorted by descending score).
+func (t *kthTracker) observe(i int, complete []core.ScoredMatch) {
+	n := len(complete)
+	if n > t.k {
+		n = t.k // only the top k of one shard can ever matter globally
+	}
+	scores := make([]float64, n)
+	for j := 0; j < n; j++ {
+		scores[j] = complete[j].Score
+	}
+	t.mu.Lock()
+	t.scores[i] = scores
+	t.mu.Unlock()
+}
+
+// kth returns the k-th best score observed so far across all shards, or -1
+// while fewer than k objects have been observed (scores are always
+// positive, so -1 never stops a descent). Allocation is bounded by the
+// entries actually observed, never by k itself, which callers may set
+// arbitrarily large to mean "return everything".
+func (t *kthTracker) kth() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := 0
+	for _, s := range t.scores {
+		total += len(s)
+	}
+	if total < t.k {
+		return -1
+	}
+	all := make([]float64, 0, total)
+	for _, s := range t.scores {
+		all = append(all, s...)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(all)))
+	return all[t.k-1]
+}
+
+// cursor walks one shard's result list during the heap merge.
+type cursor struct {
+	list []core.ScoredMatch
+	pos  int
+}
+
+func (c *cursor) head() core.ScoredMatch { return c.list[c.pos] }
+
+// mergeHeap orders cursors by their head entry: descending score, ties by
+// ascending global object ID — the exact order of the unsharded ranking.
+type mergeHeap []*cursor
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	a, b := h[i].head(), h[j].head()
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(*cursor)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
+
+// mergeTopK pops the globally best entries from the per-shard sorted lists
+// until k are taken (or the lists run dry).
+func mergeTopK(lists [][]core.ScoredMatch, k int) []core.ScoredMatch {
+	h := make(mergeHeap, 0, len(lists))
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+		if len(l) > 0 {
+			h = append(h, &cursor{list: l})
+		}
+	}
+	if k > total {
+		k = total // bound the allocation by what exists, not the ask
+	}
+	heap.Init(&h)
+	out := make([]core.ScoredMatch, 0, k)
+	for len(out) < k && h.Len() > 0 {
+		c := h[0]
+		out = append(out, c.head())
+		c.pos++
+		if c.pos == len(c.list) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
+}

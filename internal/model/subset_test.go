@@ -1,0 +1,74 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/sealdb/seal/internal/geo"
+)
+
+func TestSubsetVerifiesIdentically(t *testing.T) {
+	var b Builder
+	if _, err := b.Add(geo.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Add(geo.Rect{MinX: 2, MinY: 2, MaxX: 8, MaxY: 8}, []string{"b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddMulti(geo.RectSet{
+		{MinX: 10, MinY: 10, MaxX: 12, MaxY: 12},
+		{MinX: 14, MinY: 10, MaxX: 16, MaxY: 12},
+	}, []string{"a", "c", "d"}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := ds.Subset([]ObjectID{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 {
+		t.Fatalf("subset len = %d, want 2", sub.Len())
+	}
+	if sub.Space() != ds.Space() {
+		t.Fatalf("subset space %v differs from parent %v", sub.Space(), ds.Space())
+	}
+	q, err := ds.NewQuery(geo.Rect{MinX: 1, MinY: 1, MaxX: 15, MaxY: 11}, []string{"a", "d", "zzz"}, 0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Position 0 of the subset is parent object 2, position 1 is parent 0.
+	for pos, parent := range []ObjectID{2, 0} {
+		if got, want := sub.SimR(q, ObjectID(pos)), ds.SimR(q, parent); got != want {
+			t.Errorf("SimR(subset %d) = %v, want parent %d's %v", pos, got, parent, want)
+		}
+		if got, want := sub.SimT(q, ObjectID(pos)), ds.SimT(q, parent); got != want {
+			t.Errorf("SimT(subset %d) = %v, want parent %d's %v", pos, got, parent, want)
+		}
+	}
+	// The multi-region footprint must survive the remap.
+	if sub.MultiRegion(0) == nil {
+		t.Error("subset position 0 lost its multi-region footprint")
+	}
+	if sub.MultiRegion(1) != nil {
+		t.Error("subset position 1 gained a spurious multi-region footprint")
+	}
+}
+
+func TestSubsetErrors(t *testing.T) {
+	var b Builder
+	if _, err := b.Add(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Subset(nil); err == nil {
+		t.Error("empty subset should fail")
+	}
+	if _, err := ds.Subset([]ObjectID{7}); err == nil {
+		t.Error("out-of-range subset should fail")
+	}
+}

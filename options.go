@@ -53,19 +53,21 @@ const (
 )
 
 type options struct {
-	method          Method
-	granularity     int
-	hashBuckets     int
-	gridBudget      int
-	maxLevel        int
-	rtreeFanout     int
-	spatialSim      model.SpatialSim
-	textualSim      model.TextualSim
-	weights         map[string]float64
-	autoSet         bool
-	autoGranularity []Query
-	autoMaxLevel    int
-	autoBenefit     float64
+	method           Method
+	granularity      int
+	hashBuckets      int
+	gridBudget       int
+	maxLevel         int
+	rtreeFanout      int
+	shards           int
+	buildParallelism int
+	spatialSim       model.SpatialSim
+	textualSim       model.TextualSim
+	weights          map[string]float64
+	autoSet          bool
+	autoGranularity  []Query
+	autoMaxLevel     int
+	autoBenefit      float64
 }
 
 func defaultOptions() options {
@@ -75,6 +77,7 @@ func defaultOptions() options {
 		gridBudget:  core.DefaultHierarchicalConfig.GridBudget,
 		maxLevel:    core.DefaultHierarchicalConfig.MaxLevel,
 		rtreeFanout: 64,
+		shards:      1,
 	}
 }
 
@@ -116,6 +119,24 @@ func WithMaxLevel(level int) Option {
 // Default 64.
 func WithRTreeFanout(f int) Option {
 	return func(o *options) { o.rtreeFanout = f }
+}
+
+// WithShards splits the index into n spatial partitions that build and
+// search in parallel. Every method stays exact — shard answers are merged,
+// not approximated — so this only trades memory locality and per-query
+// fan-out against multi-core speedup. The default, 1, preserves the
+// monolithic layout; values below 1 mean 1, and the count is capped at the
+// object count.
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
+}
+
+// WithBuildParallelism bounds the number of workers that construct shard
+// filters during Build. Values below 1 (the default) mean one worker per
+// available CPU. It has no effect on a 1-shard index, whose single filter
+// builds on the calling goroutine.
+func WithBuildParallelism(n int) Option {
+	return func(o *options) { o.buildParallelism = n }
 }
 
 // WithSpatialSimilarity selects the region similarity function.

@@ -1,15 +1,16 @@
 package seal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"github.com/sealdb/seal/internal/baseline"
 	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/engine"
 	"github.com/sealdb/seal/internal/geo"
 	"github.com/sealdb/seal/internal/gridsig"
 	"github.com/sealdb/seal/internal/irtree"
@@ -73,6 +74,9 @@ type IndexStats struct {
 	Objects    int
 	Vocabulary int
 	Method     string
+	// Shards is the number of spatial partitions actually built (1 unless
+	// WithShards asked for more); IndexBytes sums over all of them.
+	Shards     int
 	IndexBytes int64
 	BuildTime  time.Duration
 }
@@ -81,13 +85,13 @@ type IndexStats struct {
 var ErrEmptyIndex = errors.New("seal: cannot build an index over zero objects")
 
 // Index answers spatio-textual similarity queries. It is immutable after
-// Build and safe for concurrent use.
+// Build and safe for concurrent use. Query execution is delegated to the
+// sharded scatter-gather engine; with the default single shard the engine
+// degenerates to exactly the monolithic index layout.
 type Index struct {
-	ds     *model.Dataset
-	filter core.Filter
-	stats  IndexStats
-
-	searchers sync.Pool
+	ds    *model.Dataset
+	eng   *engine.Engine
+	stats IndexStats
 }
 
 // Build indexes the objects. The default configuration is the paper's full
@@ -145,23 +149,26 @@ func Build(objects []Object, opts ...Option) (*Index, error) {
 		}
 	}
 
-	filter, err := buildFilter(ds, cfg)
+	eng, err := engine.Build(ds, engine.Config{
+		Shards:           cfg.shards,
+		BuildParallelism: cfg.buildParallelism,
+		NewFilter:        func(sds *model.Dataset) (core.Filter, error) { return buildFilter(sds, cfg) },
+	})
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{
-		ds:     ds,
-		filter: filter,
+	return &Index{
+		ds:  ds,
+		eng: eng,
 		stats: IndexStats{
 			Objects:    ds.Len(),
 			Vocabulary: ds.Vocab().Len(),
-			Method:     filter.Name(),
-			IndexBytes: filter.SizeBytes(),
+			Method:     eng.FilterName(),
+			Shards:     eng.Shards(),
+			IndexBytes: eng.SizeBytes(),
 			BuildTime:  time.Since(start),
 		},
-	}
-	ix.searchers.New = func() any { return core.NewSearcher(ds, filter) }
-	return ix, nil
+	}, nil
 }
 
 func buildFilter(ds *model.Dataset, cfg options) (core.Filter, error) {
@@ -247,19 +254,41 @@ func autoGranularity(ds *model.Dataset, cfg options) (int, error) {
 
 // Search answers q, returning matches sorted by object ID.
 func (ix *Index) Search(q Query) ([]Match, error) {
-	matches, _, err := ix.SearchWithStats(q)
+	return ix.SearchContext(context.Background(), q)
+}
+
+// SearchContext is Search honoring ctx: when the context is canceled or its
+// deadline passes mid-scatter, the call returns ctx's error promptly without
+// waiting for outstanding shard searches.
+func (ix *Index) SearchContext(ctx context.Context, q Query) ([]Match, error) {
+	matches, _, err := ix.searchWithStats(ctx, q)
 	return matches, err
 }
 
-// SearchWithStats answers q and reports the cost breakdown.
+// SearchWithStats answers q and reports the cost breakdown. On a sharded
+// index the counters sum over shards, and the phase times report aggregate
+// work across shards rather than wall-clock time.
 func (ix *Index) SearchWithStats(q Query) ([]Match, Stats, error) {
+	return ix.searchWithStats(context.Background(), q)
+}
+
+func (ix *Index) searchWithStats(ctx context.Context, q Query) ([]Match, Stats, error) {
+	return ix.search(ctx, q, ix.eng.Search)
+}
+
+// search compiles q and runs it through one of the engine's execution
+// strategies (interruptible Search, or SearchBatched for batch workers).
+func (ix *Index) search(ctx context.Context, q Query,
+	run func(context.Context, *model.Query) ([]core.Match, core.SearchStats, error)) ([]Match, Stats, error) {
+
 	mq, err := ix.ds.NewQuery(rectIn(q.Region), q.Tokens, q.TauR, q.TauT)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	s := ix.searchers.Get().(*core.Searcher)
-	defer ix.searchers.Put(s)
-	found, st := s.Search(mq)
+	found, st, err := run(ctx, mq)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	matches := make([]Match, len(found))
 	for i, m := range found {
 		matches[i] = Match{ID: int(m.ID), SimR: m.SimR, SimT: m.SimT}
