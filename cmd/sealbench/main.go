@@ -56,6 +56,7 @@ func main() {
 		budget  = flag.Int("budget", bench.DefaultConfig.HierBudget, "per-token grid budget m_t for Seal")
 		level   = flag.Int("level", bench.DefaultConfig.HierMaxLevel, "grid-tree depth for Seal")
 		shards  = flag.String("shards", "", "comma-separated shard counts for the shards experiment (default 1,2,4,8)")
+		limit   = flag.String("limit", "", "comma-separated limits for the limit experiment (default 1,10,100)")
 		jsonOut = flag.Bool("json", false, "emit one JSON record per experiment on stdout (tables go to stderr)")
 		smoke   = flag.Bool("smoke", false, "use the tiny smoke-test configuration")
 		list    = flag.Bool("list", false, "list experiments and exit")
@@ -93,12 +94,20 @@ func main() {
 		}
 	})
 	if *shards != "" {
-		sweep, err := parseShards(*shards)
+		sweep, err := parseSweep("shards", *shards)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sealbench: %v\n", err)
 			os.Exit(2)
 		}
 		cfg.ShardSweep = sweep
+	}
+	if *limit != "" {
+		sweep, err := parseSweep("limit", *limit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sealbench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.LimitSweep = sweep
 	}
 
 	out := io.Writer(os.Stdout)
@@ -159,14 +168,14 @@ func main() {
 	}
 }
 
-// parseShards parses "1,2,4,8" into a sweep.
-func parseShards(s string) ([]int, error) {
+// parseSweep parses "1,2,4,8" into a sweep of positive counts.
+func parseSweep(name, s string) ([]int, error) {
 	fields := strings.Split(s, ",")
 	sweep := make([]int, 0, len(fields))
 	for _, f := range fields {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("invalid -shards value %q", f)
+			return nil, fmt.Errorf("invalid -%s value %q", name, f)
 		}
 		sweep = append(sweep, n)
 	}

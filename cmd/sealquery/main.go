@@ -1,33 +1,40 @@
 // Command sealquery loads a dataset snapshot produced by sealgen, builds a
-// SEAL index, and answers spatio-textual similarity queries — one from the
-// command line, or a stream of them from stdin.
+// seal.Index through the library's public API, and answers spatio-textual
+// similarity queries — one from the command line, or a stream of them from
+// stdin.
 //
-// One-shot:
+// One-shot queries stream results as NDJSON on stdout, one record per match
+// the moment the engine verifies it (no buffering of the full result), with
+// a summary on stderr:
 //
 //	sealquery -data twitter.snap -rect 100,200,130,240 -tokens "banodi,rukema" -taur 0.3 -taut 0.3
+//	{"id":17,"sim_r":0.41,"sim_t":0.36}
+//	{"id":52,"sim_r":0.33,"sim_t":0.58}
+//
+// -limit N stops the search after N matches — the engine interrupts the
+// remaining shard work, so small limits answer faster, not just shorter.
+// -topk K switches to ranked mode (records gain a "score" field, ordered
+// best-first). -shards builds a sharded index that searches in parallel.
 //
 // Interactive (one query per line: minx miny maxx maxy tauR tauT token...):
 //
 //	sealquery -data twitter.snap -i
 //	> 100 200 130 240 0.3 0.3 banodi rukema
-//
-// Output lists matching object IDs with their exact similarities and the
-// filter/verification timing split.
 package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
-	"github.com/sealdb/seal/internal/baseline"
-	"github.com/sealdb/seal/internal/core"
-	"github.com/sealdb/seal/internal/geo"
-	"github.com/sealdb/seal/internal/irtree"
+	"github.com/sealdb/seal"
 	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/text"
 )
 
 func main() {
@@ -35,12 +42,14 @@ func main() {
 		dataPath    = flag.String("data", "", "snapshot path from sealgen (required)")
 		method      = flag.String("method", "seal", "seal|token|grid|hybrid|keyword|spatial|irtree|scan")
 		granularity = flag.Int("p", 1024, "grid granularity for grid/hybrid")
+		shards      = flag.Int("shards", 1, "spatial shards searching in parallel")
 		rectSpec    = flag.String("rect", "", "query rectangle minx,miny,maxx,maxy")
 		tokensSpec  = flag.String("tokens", "", "comma-separated query tokens")
 		tauR        = flag.Float64("taur", 0.3, "spatial similarity threshold")
 		tauT        = flag.Float64("taut", 0.3, "textual similarity threshold")
-		topK        = flag.Int("topk", 0, "if > 0, run top-k search instead of threshold search")
-		alpha       = flag.Float64("alpha", 0.5, "spatial weight of the top-k score")
+		topK        = flag.Int("topk", 0, "if > 0, run a ranked (top-k) query instead of a threshold query")
+		alpha       = flag.Float64("alpha", 0.5, "spatial weight of the ranked score")
+		limit       = flag.Int("limit", 0, "if > 0, stop after this many matches (early termination)")
 		interactive = flag.Bool("i", false, "read queries from stdin")
 	)
 	flag.Parse()
@@ -59,15 +68,20 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "loaded %d objects, building %s index...\n", ds.Len(), *method)
 
-	filter, err := buildFilter(ds, *method, *granularity)
+	opts, err := buildOptions(*method, *granularity, *shards)
 	if err != nil {
 		fail("sealquery: %v", err)
 	}
-	searcher := core.NewSearcher(ds, filter)
-	fmt.Fprintf(os.Stderr, "index ready (%s, %.1f MB)\n", filter.Name(), float64(filter.SizeBytes())/(1<<20))
+	ix, err := seal.Build(snapshotObjects(ds), opts...)
+	if err != nil {
+		fail("sealquery: %v", err)
+	}
+	st := ix.Stats()
+	fmt.Fprintf(os.Stderr, "index ready (%s, %d shard(s), %.1f MB)\n",
+		st.Method, st.Shards, float64(st.IndexBytes)/(1<<20))
 
 	if *interactive {
-		runREPL(ds, searcher)
+		runREPL(ix)
 		return
 	}
 	if *rectSpec == "" || *tokensSpec == "" {
@@ -77,62 +91,99 @@ func main() {
 	if err != nil {
 		fail("sealquery: %v", err)
 	}
+	req := seal.Request{Region: rect, Tokens: splitTokens(*tokensSpec), TauR: *tauR, TauT: *tauT}
 	if *topK > 0 {
-		runTopK(ds, searcher, rect, splitTokens(*tokensSpec), *topK, *alpha)
-		return
+		req.TauR, req.TauT = 0, 0
+		req.K = *topK
+		req.Alpha = *alpha
 	}
-	runOne(ds, searcher, rect, splitTokens(*tokensSpec), *tauR, *tauT)
+	streamNDJSON(ix, req, *limit)
 }
 
-func runTopK(ds *model.Dataset, s *core.Searcher, rect geo.Rect, tokens []string, k int, alpha float64) {
-	results, err := s.TopK(rect, tokens, core.TopKOptions{K: k, Alpha: alpha})
-	if err != nil {
-		fail("sealquery: %v", err)
+// streamNDJSON runs req through Index.Stream, writing one JSON record per
+// match to stdout as the engine verifies it, and a work summary to stderr
+// once the stream ends.
+func streamNDJSON(ix *seal.Index, req seal.Request, limit int) {
+	type record struct {
+		ID    int     `json:"id"`
+		SimR  float64 `json:"sim_r"`
+		SimT  float64 `json:"sim_t"`
+		Score float64 `json:"score,omitempty"`
 	}
-	fmt.Printf("top %d by %.2f*simR + %.2f*simT:\n", k, alpha, 1-alpha)
-	for rank, m := range results {
-		fmt.Printf("  %2d. object %d score=%.4f (simR=%.4f simT=%.4f)\n",
-			rank+1, m.ID, m.Score, m.SimR, m.SimT)
+	opts := []seal.QueryOption{}
+	if limit > 0 {
+		opts = append(opts, seal.Limit(limit))
 	}
+	var st seal.Stats
+	opts = append(opts, seal.StatsInto(&st))
+
+	enc := json.NewEncoder(os.Stdout)
+	n := 0
+	for m, err := range ix.Stream(context.Background(), req, opts...) {
+		if err != nil {
+			fail("sealquery: %v", err)
+		}
+		if err := enc.Encode(record{ID: m.ID, SimR: m.SimR, SimT: m.SimT, Score: m.Score}); err != nil {
+			fail("sealquery: %v", err)
+		}
+		n++
+	}
+	fmt.Fprintf(os.Stderr, "%d match(es), %d candidate(s), %d postings scanned, filter %v + verify %v\n",
+		n, st.Candidates, st.PostingsScanned, st.FilterTime, st.VerifyTime)
 }
 
-func buildFilter(ds *model.Dataset, method string, p int) (core.Filter, error) {
+// snapshotObjects converts a snapshot dataset back into public API objects;
+// Build re-derives identical token weights from the same corpus.
+func snapshotObjects(ds *model.Dataset) []seal.Object {
+	vocab := ds.Vocab()
+	objects := make([]seal.Object, ds.Len())
+	for i := range objects {
+		id := model.ObjectID(i)
+		tokens := make([]string, 0, len(ds.Tokens(id)))
+		for _, t := range ds.Tokens(id) {
+			tokens = append(tokens, vocab.Term(text.TokenID(t)))
+		}
+		objects[i].Tokens = tokens
+		if set := ds.MultiRegion(id); set != nil {
+			regions := make([]seal.Rect, len(set))
+			for j, r := range set {
+				regions[j] = seal.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+			}
+			objects[i].Regions = regions
+			continue
+		}
+		r := ds.Region(id)
+		objects[i].Region = seal.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+	}
+	return objects
+}
+
+func buildOptions(method string, p, shards int) ([]seal.Option, error) {
+	opts := []seal.Option{seal.WithShards(shards)}
 	switch method {
 	case "seal":
-		return core.NewHierarchicalFilter(ds, core.DefaultHierarchicalConfig)
+		opts = append(opts, seal.WithMethod(seal.MethodSeal))
 	case "token":
-		return core.NewTokenFilter(ds), nil
+		opts = append(opts, seal.WithMethod(seal.MethodTokenFilter))
 	case "grid":
-		return core.NewGridFilter(ds, p)
+		opts = append(opts, seal.WithMethod(seal.MethodGridFilter), seal.WithGranularity(p))
 	case "hybrid":
-		return core.NewHybridHashFilter(ds, p, 0)
+		opts = append(opts, seal.WithMethod(seal.MethodHybridHash), seal.WithGranularity(p))
 	case "keyword":
-		return baseline.NewKeywordFirst(ds), nil
+		opts = append(opts, seal.WithMethod(seal.MethodKeywordFirst))
 	case "spatial":
-		return baseline.NewSpatialFirst(ds, 64)
+		opts = append(opts, seal.WithMethod(seal.MethodSpatialFirst))
 	case "irtree":
-		return irtree.New(ds, 64)
+		opts = append(opts, seal.WithMethod(seal.MethodIRTree))
 	case "scan":
-		return baseline.NewScan(ds), nil
+		opts = append(opts, seal.WithMethod(seal.MethodScan))
 	default:
 		return nil, fmt.Errorf("unknown method %q", method)
 	}
+	return opts, nil
 }
 
-func runOne(ds *model.Dataset, s *core.Searcher, rect geo.Rect, tokens []string, tauR, tauT float64) {
-	q, err := ds.NewQuery(rect, tokens, tauR, tauT)
-	if err != nil {
-		fail("sealquery: %v", err)
-	}
-	matches, st := s.Search(q)
-	fmt.Printf("%d answers, %d candidates, filter %v + verify %v\n",
-		len(matches), st.Candidates, st.FilterTime, st.VerifyTime)
-	for _, m := range matches {
-		fmt.Printf("  object %d: simR=%.4f simT=%.4f region=%v\n", m.ID, m.SimR, m.SimT, ds.Region(m.ID))
-	}
-}
-
-func runREPL(ds *model.Dataset, s *core.Searcher) {
+func runREPL(ix *seal.Index) {
 	fmt.Println("query format: minx miny maxx maxy tauR tauT token [token...]  (ctrl-D to quit)")
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -163,34 +214,39 @@ func runREPL(ds *model.Dataset, s *core.Searcher) {
 		if bad {
 			continue
 		}
-		rect := geo.NewRect(nums[0], nums[1], nums[2], nums[3])
-		q, err := ds.NewQuery(rect, fields[6:], nums[4], nums[5])
+		req := seal.Request{
+			Region: seal.Rect{MinX: nums[0], MinY: nums[1], MaxX: nums[2], MaxY: nums[3]},
+			Tokens: fields[6:],
+			TauR:   nums[4],
+			TauT:   nums[5],
+		}
+		res, err := ix.Query(context.Background(), req, seal.CollectStats())
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
 			continue
 		}
-		matches, st := s.Search(q)
-		fmt.Printf("%d answers (%d candidates, %v)\n", len(matches), st.Candidates, st.FilterTime+st.VerifyTime)
-		for _, m := range matches {
+		st := res.Stats
+		fmt.Printf("%d answers (%d candidates, %v)\n", len(res.Matches), st.Candidates, st.FilterTime+st.VerifyTime)
+		for _, m := range res.Matches {
 			fmt.Printf("  object %d: simR=%.4f simT=%.4f\n", m.ID, m.SimR, m.SimT)
 		}
 	}
 }
 
-func parseRect(s string) (geo.Rect, error) {
+func parseRect(s string) (seal.Rect, error) {
 	parts := strings.Split(s, ",")
 	if len(parts) != 4 {
-		return geo.Rect{}, fmt.Errorf("rect needs 4 comma-separated numbers, got %q", s)
+		return seal.Rect{}, fmt.Errorf("rect needs 4 comma-separated numbers, got %q", s)
 	}
 	var vals [4]float64
 	for i, p := range parts {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
-			return geo.Rect{}, fmt.Errorf("bad coordinate %q", p)
+			return seal.Rect{}, fmt.Errorf("bad coordinate %q", p)
 		}
 		vals[i] = v
 	}
-	return geo.NewRect(vals[0], vals[1], vals[2], vals[3]), nil
+	return seal.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}, nil
 }
 
 func splitTokens(s string) []string {

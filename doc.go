@@ -21,12 +21,52 @@
 //	}
 //	ix, err := seal.Build(objects)
 //	if err != nil { ... }
-//	matches, err := ix.Search(seal.Query{
+//	res, err := ix.Query(ctx, seal.Request{
 //	    Region: seal.Rect{2, 2, 12, 12},
 //	    Tokens: []string{"coffee", "mocha"},
 //	    TauR:   0.2,
 //	    TauT:   0.3,
 //	})
+//	for _, m := range res.Matches { ... }
+//
+// # Query API
+//
+// One Request covers both query models. A threshold request (TauR/TauT in
+// (0, 1]) returns every object passing both thresholds; a ranked request
+// (K > 0) returns the K objects maximizing Alpha·simR + (1−Alpha)·simT above
+// similarity floors, with the score in Match.Score. Three execution shapes
+// share the same engine:
+//
+//	res, err := ix.Query(ctx, req, opts...)   // materialized *Results
+//	for m, err := range ix.Stream(ctx, req, opts...) { ... }
+//	outs := ix.QueryBatch(ctx, reqs, opts...) // per-query Results/errors
+//
+// QueryOption carries the per-query knobs: Limit and Offset page through
+// results, OrderByID/OrderByScore/OrderByArrival pick the order,
+// CollectStats and StatsInto report the cost breakdown, ShardParallelism
+// and BatchParallelism bound concurrency. Limit is a work reducer: the
+// engine counts emissions across shards atomically and interrupts the
+// outstanding shard searches (and ranked descents) once the limit is
+// reached, so fewer postings are scanned and fewer candidates verified.
+// Stream's default arrival order yields matches while shards are still
+// searching; breaking out of the loop cancels the remaining work.
+//
+// # Migrating from the legacy Search methods
+//
+// The pre-existing entry points remain as deprecated wrappers:
+//
+//	ix.Search(q)                      → ix.Query(ctx, q.Request())
+//	ix.SearchContext(ctx, q)          → ix.Query(ctx, q.Request())
+//	ix.SearchWithStats(q)             → ix.Query(ctx, q.Request(), seal.CollectStats())
+//	ix.SearchTopK(tq)                 → ix.Query(ctx, tq.Request())
+//	ix.SearchTopKContext(ctx, tq)     → ix.Query(ctx, tq.Request())
+//	ix.SearchBatch(qs, p)             → ix.QueryBatch(ctx, reqs, seal.BatchParallelism(p))
+//	ix.SearchBatchContext(ctx, qs, p) → ix.QueryBatch(ctx, reqs, seal.BatchParallelism(p))
+//
+// Result orders are preserved (threshold queries default to OrderByID,
+// ranked ones to OrderByScore). QueryBatch reports each query's error in
+// its own BatchResult slot instead of discarding completed work on the
+// first failure, which is the one behavioral upgrade over SearchBatch.
 //
 // # Methods
 //
@@ -55,8 +95,7 @@
 //
 // # Context-aware search
 //
-// SearchContext, SearchTopKContext and SearchBatchContext honor
-// context.Context: a canceled context or an expired deadline stops the
-// scatter mid-flight and returns ctx's error promptly. SearchBatch cancels
-// its outstanding queries as soon as one query fails.
+// Query, Stream and QueryBatch honor context.Context: a canceled context or
+// an expired deadline stops the scatter mid-flight and returns (or yields)
+// ctx's error promptly.
 package seal

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -63,7 +64,7 @@ func main() {
 	// Recommend friends for a few sample users: query = their own profile.
 	for _, uid := range []int{17, 1234, 2750} {
 		me := users[uid]
-		matches, err := ix.Search(seal.Query{
+		res, err := ix.Query(context.Background(), seal.Request{
 			Region: me.Region,
 			Tokens: me.Tokens,
 			TauR:   0.05, // hangout areas overlap meaningfully
@@ -72,6 +73,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		matches := res.Matches
 		// Drop the user themselves and rank by combined similarity.
 		recs := matches[:0]
 		for _, m := range matches {

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -95,10 +96,11 @@ func main() {
 		multi bool
 	}{{"single-MBR profiles", false}, {"clustered multi-region profiles", true}} {
 		ix := build(mode.multi)
-		matches, err := ix.Search(query)
+		res, err := ix.Query(context.Background(), query.Request())
 		if err != nil {
 			log.Fatal(err)
 		}
+		matches := res.Matches
 		fmt.Printf("%s: %d match(es)\n", mode.label, len(matches))
 		for _, m := range matches {
 			fp, err := ix.Footprint(m.ID)

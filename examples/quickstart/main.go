@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,12 +48,13 @@ func main() {
 		fmt.Printf("  o%d: simR=%.2f simT=%.2f\n", id+1, simR, simT)
 	}
 
-	matches, stats, err := ix.SearchWithStats(query)
+	res, err := ix.Query(context.Background(), query.Request(), seal.CollectStats())
 	if err != nil {
 		log.Fatal(err)
 	}
+	stats := res.Stats
 	fmt.Printf("\nanswers (%d candidate(s) filtered, %v total):\n", stats.Candidates, stats.FilterTime+stats.VerifyTime)
-	for _, m := range matches {
+	for _, m := range res.Matches {
 		fmt.Printf("  o%d with simR=%.2f simT=%.2f\n", m.ID+1, m.SimR, m.SimT)
 	}
 }

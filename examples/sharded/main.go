@@ -1,7 +1,9 @@
-// Command sharded demonstrates the scatter-gather engine: a synthetic
-// city-scale dataset is indexed across several spatial shards that build in
-// parallel, queries fan out across shards concurrently (including a
-// cooperative top-k), and a deadline cuts a batch short via context.
+// Command sharded demonstrates the scatter-gather engine through the
+// unified query API: a synthetic city-scale dataset is indexed across
+// several spatial shards that build in parallel, a threshold Query fans out
+// across shards concurrently, a Stream with Limit interrupts shard work
+// early, a ranked Request runs the cooperative top-k, and a deadline cuts a
+// QueryBatch short via context.
 package main
 
 import (
@@ -55,24 +57,40 @@ func main() {
 
 	// One threshold query: every shard searches concurrently and the merged
 	// stats sum the per-shard work.
-	query := seal.Query{
+	req := seal.Request{
 		Region: seal.Rect{MinX: 505, MinY: 505, MaxX: 530, MaxY: 530},
 		Tokens: []string{"coffee", "jazz"},
 		TauR:   0.02,
 		TauT:   0.2,
 	}
-	matches, stats, err := ix.SearchWithStats(query)
+	res, err := ix.Query(context.Background(), req, seal.CollectStats())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("threshold search: %d matches from %d candidates across shards\n",
-		len(matches), stats.Candidates)
+		len(res.Matches), res.Stats.Candidates)
 
-	// Top-k with cooperative pruning: shards share the running k-th-best
-	// score, so a shard whose remaining objects cannot reach it stops early.
-	top, err := ix.SearchTopKContext(context.Background(), seal.TopKQuery{
-		Region: query.Region,
-		Tokens: query.Tokens,
+	// The same query streamed with a Limit: the engine interrupts the
+	// outstanding shard searches once 3 matches were emitted, so the stats
+	// report genuinely less work than the full search above.
+	var limited seal.Stats
+	n := 0
+	for m, err := range ix.Stream(context.Background(), req, seal.Limit(3), seal.StatsInto(&limited)) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  streamed venue %d (simR=%.2f simT=%.2f)\n", m.ID, m.SimR, m.SimT)
+		n++
+	}
+	fmt.Printf("stream with Limit(3): %d matches, %d candidates vs %d unbounded\n",
+		n, limited.Candidates, res.Stats.Candidates)
+
+	// A ranked request with cooperative pruning: shards share the running
+	// k-th-best score, so a shard whose remaining objects cannot reach it
+	// stops early.
+	top, err := ix.Query(context.Background(), seal.Request{
+		Region: req.Region,
+		Tokens: req.Tokens,
 		K:      5,
 		Alpha:  0.5,
 		FloorR: 0.01,
@@ -82,16 +100,17 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("top-5 by combined score:")
-	for i, m := range top {
+	for i, m := range top.Matches {
 		fmt.Printf("  %d. venue %d score=%.3f (simR=%.2f simT=%.2f)\n", i+1, m.ID, m.Score, m.SimR, m.SimT)
 	}
 
-	// A batch under a deadline: when the context expires, outstanding
-	// queries are canceled instead of running to completion.
-	batch := make([]seal.Query, 2000)
+	// A batch under a deadline: when the context expires, queries that never
+	// ran report the context error while the finished slots keep their
+	// results — no completed work is discarded.
+	batch := make([]seal.Request, 2000)
 	for i := range batch {
 		x, y := rng.Float64()*950, rng.Float64()*950
-		batch[i] = seal.Query{
+		batch[i] = seal.Request{
 			Region: seal.Rect{MinX: x, MinY: y, MaxX: x + 50, MaxY: y + 50},
 			Tokens: []string{categories[rng.Intn(len(categories))]},
 			TauR:   0.05,
@@ -101,19 +120,19 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
 	defer cancel()
 	start = time.Now()
-	results, err := ix.SearchBatchContext(ctx, batch, 0)
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		fmt.Printf("batch hit its 250ms deadline after %v — outstanding queries were canceled\n",
-			time.Since(start).Round(time.Millisecond))
-	case err != nil:
-		log.Fatal(err)
-	default:
-		total := 0
-		for _, r := range results {
-			total += len(r)
+	outs := ix.QueryBatch(ctx, batch)
+	finished, canceled, total := 0, 0, 0
+	for _, out := range outs {
+		switch {
+		case errors.Is(out.Err, context.DeadlineExceeded):
+			canceled++
+		case out.Err != nil:
+			log.Fatal(out.Err)
+		default:
+			finished++
+			total += len(out.Results.Matches)
 		}
-		fmt.Printf("batch of %d queries finished in %v with %d total matches\n",
-			len(batch), time.Since(start).Round(time.Millisecond), total)
 	}
+	fmt.Printf("batch of %d queries after %v: %d finished (%d total matches), %d canceled by the deadline\n",
+		len(batch), time.Since(start).Round(time.Millisecond), finished, total, canceled)
 }

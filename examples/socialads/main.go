@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -85,15 +86,16 @@ func main() {
 	}
 
 	for _, store := range stores {
-		matches, stats, err := ix.SearchWithStats(seal.Query{
+		res, err := ix.Query(context.Background(), seal.Request{
 			Region: store.area,
 			Tokens: store.profile,
 			TauR:   0.02, // any meaningful overlap with the service area
 			TauT:   0.25, // at least a quarter of the interest weight shared
-		})
+		}, seal.CollectStats())
 		if err != nil {
 			log.Fatal(err)
 		}
+		matches, stats := res.Matches, res.Stats
 		fmt.Printf("%s %v:\n", store.name, store.profile)
 		fmt.Printf("  reachable audience: %d users (from %d candidates, %v)\n",
 			len(matches), stats.Candidates, stats.FilterTime+stats.VerifyTime)

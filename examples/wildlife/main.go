@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -94,10 +95,11 @@ func main() {
 
 	for _, s := range surveys {
 		fmt.Printf("survey: %s\n", s.title)
-		matches, err := ix.Search(s.query)
+		res, err := ix.Query(context.Background(), s.query.Request())
 		if err != nil {
 			log.Fatal(err)
 		}
+		matches := res.Matches
 		if len(matches) == 0 {
 			fmt.Println("  nothing in range")
 		}

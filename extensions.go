@@ -11,7 +11,6 @@ import (
 	"fmt"
 
 	"github.com/sealdb/seal/internal/cluster"
-	"github.com/sealdb/seal/internal/core"
 	"github.com/sealdb/seal/internal/engine"
 	"github.com/sealdb/seal/internal/geo"
 )
@@ -64,6 +63,9 @@ type ScoredMatch struct {
 
 // SearchTopK answers a top-k query. Fewer than K results are returned when
 // fewer objects satisfy the floors.
+//
+// Deprecated: Use [Index.Query] with a ranked Request (q.Request()); matches
+// carry the combined score in Match.Score.
 func (ix *Index) SearchTopK(q TopKQuery) ([]ScoredMatch, error) {
 	return ix.SearchTopKContext(context.Background(), q)
 }
@@ -72,19 +74,19 @@ func (ix *Index) SearchTopK(q TopKQuery) ([]ScoredMatch, error) {
 // between descent rounds, so cancellation and deadlines cut the search short
 // with ctx's error. On a sharded index the shards prune cooperatively
 // against the running global k-th-best score.
+//
+// Deprecated: Use [Index.Query] with a ranked Request (q.Request()).
 func (ix *Index) SearchTopKContext(ctx context.Context, q TopKQuery) ([]ScoredMatch, error) {
-	found, err := ix.eng.TopK(ctx, rectIn(q.Region), q.Tokens, core.TopKOptions{
-		K:      q.K,
-		Alpha:  q.Alpha,
-		FloorR: q.FloorR,
-		FloorT: q.FloorT,
-	})
+	if q.K <= 0 {
+		return nil, fmt.Errorf("seal: top-k query needs K >= 1, got %d", q.K)
+	}
+	res, err := ix.Query(ctx, q.Request())
 	if err != nil {
 		return nil, err
 	}
-	out := make([]ScoredMatch, len(found))
-	for i, m := range found {
-		out[i] = ScoredMatch{ID: int(m.ID), SimR: m.SimR, SimT: m.SimT, Score: m.Score}
+	out := make([]ScoredMatch, len(res.Matches))
+	for i, m := range res.Matches {
+		out[i] = ScoredMatch{ID: m.ID, SimR: m.SimR, SimT: m.SimT, Score: m.Score}
 	}
 	return out, nil
 }
@@ -111,25 +113,32 @@ func (ix *Index) Footprint(id int) ([]Rect, error) {
 // count). Results are positionally aligned with the input. The first failure
 // cancels the queries still outstanding and aborts the batch with that
 // query's error.
+//
+// Deprecated: Use [Index.QueryBatch], which reports each query's error
+// individually instead of discarding the whole batch's completed work on
+// the first failure.
 func (ix *Index) SearchBatch(queries []Query, parallelism int) ([][]Match, error) {
 	return ix.SearchBatchContext(context.Background(), queries, parallelism)
 }
 
 // SearchBatchContext is SearchBatch honoring ctx: canceling the context (or
 // passing its deadline) stops the batch early with ctx's error.
+//
+// Deprecated: Use [Index.QueryBatch] with the [BatchParallelism] option.
 func (ix *Index) SearchBatchContext(ctx context.Context, queries []Query, parallelism int) ([][]Match, error) {
 	if parallelism < 1 {
 		parallelism = defaultParallelism(len(queries))
 	}
 	results := make([][]Match, len(queries))
 	err := engine.ForEach(ctx, len(queries), parallelism, func(ctx context.Context, i int) error {
-		// SearchBatched: the scatter loop observes cancellation between
-		// queries, so individual queries skip the mid-flight watcher.
-		matches, _, err := ix.search(ctx, queries[i], ix.eng.SearchBatched)
+		// batched: the scatter loop observes cancellation between queries,
+		// so individual queries skip the mid-flight watcher.
+		res, err := ix.query(ctx, queries[i].Request(), queryConfig{batched: true})
 		if err != nil {
-			return fmt.Errorf("seal: batch query %d: %w", i, err)
+			// The inner error already carries the library prefix.
+			return fmt.Errorf("batch query %d: %w", i, err)
 		}
-		results[i] = matches
+		results[i] = res.Matches
 		return nil
 	})
 	if err != nil {

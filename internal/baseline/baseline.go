@@ -48,8 +48,19 @@ func (f *KeywordFirst) Postings() int { return f.idx.Postings() }
 // computes the exact weighted Jaccard from the accumulated common weight,
 // and keeps objects passing τT.
 func (f *KeywordFirst) Collect(q *model.Query, cs *core.CandidateSet, st *core.FilterStats) {
+	f.CollectStop(q, cs, st, nil)
+}
+
+// CollectStop implements core.StoppableFilter: stop is polled before each
+// list merge and between candidate insertions. Stopping mid-merge only loses
+// candidates (partial weight sums can pass the τT gate solely when the full
+// sums would too), which is exactly what an abandoned search wants.
+func (f *KeywordFirst) CollectStop(q *model.Query, cs *core.CandidateSet, st *core.FilterStats, stop func() bool) {
 	f.acc.reset()
 	for _, t := range q.Tokens {
+		if stop != nil && stop() {
+			return
+		}
 		l := f.idx.List(uint64(t))
 		if l == nil {
 			continue
@@ -63,6 +74,9 @@ func (f *KeywordFirst) Collect(q *model.Query, cs *core.CandidateSet, st *core.F
 		}
 	}
 	for _, obj := range f.acc.touched {
+		if stop != nil && stop() {
+			return
+		}
 		common := f.acc.sum[obj]
 		union := q.TotalWeight + f.ds.TotalWeight(model.ObjectID(obj)) - common
 		if union <= 0 {
@@ -104,8 +118,17 @@ func (f *SpatialFirst) SizeBytes() int64 { return f.tree.SizeBytes() }
 // (objects with simR ≥ τR > 0 necessarily overlap), and the exact spatial
 // similarity gates candidacy.
 func (f *SpatialFirst) Collect(q *model.Query, cs *core.CandidateSet, st *core.FilterStats) {
+	f.CollectStop(q, cs, st, nil)
+}
+
+// CollectStop implements core.StoppableFilter: stop is polled per overlapping
+// entry, cutting the R-tree walk short.
+func (f *SpatialFirst) CollectStop(q *model.Query, cs *core.CandidateSet, st *core.FilterStats, stop func() bool) {
 	st.ListsProbed++
 	f.tree.SearchOverlapping(q.Region, func(e rtree.Entry) bool {
+		if stop != nil && stop() {
+			return false
+		}
 		st.PostingsScanned++
 		if f.ds.SimR(q, model.ObjectID(e.ID)) >= q.TauR-1e-12 {
 			cs.Add(e.ID)
@@ -131,7 +154,16 @@ func (f *Scan) SizeBytes() int64 { return 0 }
 
 // Collect implements core.Filter.
 func (f *Scan) Collect(q *model.Query, cs *core.CandidateSet, st *core.FilterStats) {
+	f.CollectStop(q, cs, st, nil)
+}
+
+// CollectStop implements core.StoppableFilter: stop is polled per object, so
+// an early-terminating consumer scans only as far as its answers reach.
+func (f *Scan) CollectStop(q *model.Query, cs *core.CandidateSet, st *core.FilterStats, stop func() bool) {
 	for obj := 0; obj < f.ds.Len(); obj++ {
+		if stop != nil && stop() {
+			return
+		}
 		st.PostingsScanned++
 		cs.Add(uint32(obj))
 	}

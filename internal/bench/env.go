@@ -35,6 +35,9 @@ type Config struct {
 	// ShardSweep lists the shard counts of the shard-scaling experiment;
 	// empty means {1, 2, 4, 8}.
 	ShardSweep []int
+	// LimitSweep lists the limits of the early-termination experiment;
+	// empty means {1, 10, 100}.
+	LimitSweep []int
 }
 
 // DefaultConfig is the full experiment scale (about a minute of dataset and

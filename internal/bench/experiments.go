@@ -36,6 +36,8 @@ var Experiments = []Experiment{
 	{"topk", "Extra: top-k search via threshold descent vs full scan", TopK, nil},
 	{"shards", "Extra: shard scaling: parallel build and scatter-gather search", Shards,
 		func(env *Env) (any, error) { return ShardScaling(env) }},
+	{"limit", "Extra: engine-level early termination: Limit vs full search", Limit,
+		func(env *Env) (any, error) { return LimitScaling(env) }},
 }
 
 // Lookup finds an experiment by name.

@@ -56,6 +56,10 @@ type CandidateSet struct {
 	mark  []uint32
 	epoch uint32
 	ids   []uint32
+	// onAdd, when non-nil, observes every distinct object at insertion.
+	// SearchStream hooks verification here so matches emit while the filter
+	// is still collecting.
+	onAdd func(obj uint32)
 }
 
 // NewCandidateSet creates a set for datasets of n objects.
@@ -82,6 +86,9 @@ func (c *CandidateSet) Add(obj uint32) {
 	}
 	c.mark[obj] = c.epoch
 	c.ids = append(c.ids, obj)
+	if c.onAdd != nil {
+		c.onAdd(obj)
+	}
 }
 
 // Contains reports whether obj is in the set.
@@ -153,21 +160,30 @@ func (s *Searcher) Search(q *model.Query) ([]Match, SearchStats) {
 	start = time.Now()
 	matches := make([]Match, 0, 16)
 	for _, obj := range s.cs.IDs() {
-		id := model.ObjectID(obj)
-		simR := s.ds.SimR(q, id)
-		if simR < q.TauR {
-			continue
+		if m, ok := s.verify(q, model.ObjectID(obj)); ok {
+			matches = append(matches, m)
 		}
-		simT := s.ds.SimT(q, id)
-		if simT < q.TauT {
-			continue
-		}
-		matches = append(matches, Match{ID: id, SimR: simR, SimT: simT})
 	}
 	sort.Slice(matches, func(i, j int) bool { return matches[i].ID < matches[j].ID })
 	st.VerifyTime = time.Since(start)
 	st.Results = len(matches)
 	return matches, st
+}
+
+// verify is the exact verification step shared by every execution path:
+// it computes both similarities and reports whether id passes q's
+// thresholds. Streamed and materialized searches must agree on this
+// predicate exactly — the Stream==Search property tests depend on it.
+func (s *Searcher) verify(q *model.Query, id model.ObjectID) (Match, bool) {
+	simR := s.ds.SimR(q, id)
+	if simR < q.TauR {
+		return Match{}, false
+	}
+	simT := s.ds.SimT(q, id)
+	if simT < q.TauT {
+		return Match{}, false
+	}
+	return Match{ID: id, SimR: simR, SimT: simT}, true
 }
 
 // Thresholds derives the signature similarity thresholds of the paper:

@@ -68,6 +68,12 @@ func (f *GridFilter) Granularity() int { return f.grid.P }
 // Σ_{g∈SR(q)∩SR(o)} min(w(g|q), w(g|o)) ≥ τR·|q.R|, so prefix filtering on
 // the grid signatures is complete.
 func (f *GridFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterStats) {
+	f.CollectStop(q, cs, st, nil)
+}
+
+// CollectStop implements StoppableFilter: stop is polled before each
+// inverted-list probe.
+func (f *GridFilter) CollectStop(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool) {
 	cR, _ := Thresholds(q)
 	if cR <= 0 {
 		return
@@ -81,6 +87,9 @@ func (f *GridFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterStats) 
 	p := invidx.PrefixLen(weights, cR)
 	slack := invidx.Slack(cR)
 	for _, cw := range sig[:p] {
+		if stop != nil && stop() {
+			return
+		}
 		l := f.idx.List(uint64(cw.Cell))
 		if l == nil {
 			continue

@@ -120,6 +120,12 @@ func (f *HybridHashFilter) Granularity() int { return f.grid.P }
 // cell g* inside both grid prefixes, so probing bucket h(t*, g*) with both
 // bounds retrieves o.
 func (f *HybridHashFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterStats) {
+	f.CollectStop(q, cs, st, nil)
+}
+
+// CollectStop implements StoppableFilter: stop is polled before each bucket
+// probe.
+func (f *HybridHashFilter) CollectStop(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool) {
 	cR, cT := Thresholds(q)
 	if cR <= 0 || cT <= 0 {
 		return
@@ -145,6 +151,9 @@ func (f *HybridHashFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterS
 	slackR, slackT := invidx.Slack(cR), invidx.Slack(cT)
 	for _, t := range tsig[:pT] {
 		for _, cw := range gsig[:pR] {
+			if stop != nil && stop() {
+				return
+			}
 			l := f.idx.List(f.key(t, cw.Cell))
 			if l == nil {
 				continue

@@ -272,6 +272,12 @@ func (f *HierarchicalFilter) Budget() int { return f.budget }
 // prefix is selected there (the grids are already in the global order), and
 // the (token, grid) lists are probed with both bounds.
 func (f *HierarchicalFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterStats) {
+	f.CollectStop(q, cs, st, nil)
+}
+
+// CollectStop implements StoppableFilter: stop is polled before each
+// (token, grid) list probe.
+func (f *HierarchicalFilter) CollectStop(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool) {
 	cR, cT := Thresholds(q)
 	if cR <= 0 || cT <= 0 {
 		return
@@ -300,6 +306,9 @@ func (f *HierarchicalFilter) Collect(q *model.Query, cs *CandidateSet, st *Filte
 		}
 		pR := invidx.PrefixLen(gW, cR)
 		for _, h := range hits[:pR] {
+			if stop != nil && stop() {
+				return
+			}
 			l := f.idx.List(hierKey(t, h.node))
 			if l == nil {
 				continue

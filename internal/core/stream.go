@@ -1,0 +1,137 @@
+package core
+
+// Streaming execution: the push-based path behind the engine's Stream/Query
+// API. A streamed search emits each verified match through a callback the
+// moment it is proven, instead of materializing the full match slice, and
+// polls a stop hook so that a consumer that has seen enough (a Limit, a
+// canceled context, a shard whose work became irrelevant) interrupts the
+// remaining filter scans and verifications — early termination reduces the
+// work actually done, it does not merely truncate the answer.
+
+import (
+	"sort"
+	"time"
+
+	"github.com/sealdb/seal/internal/model"
+)
+
+// StoppableFilter is an optional extension of Filter for early termination.
+// CollectStop behaves exactly like Collect when stop is nil or never fires;
+// otherwise it polls stop between units of work (inverted-list probes, tree
+// nodes, object batches) and abandons collection once stop returns true,
+// leaving cs with the candidates found so far. Abandonment is safe: a
+// stopped search never claims its partial candidate set is complete — the
+// caller asked it to stop producing.
+type StoppableFilter interface {
+	Filter
+	CollectStop(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool)
+}
+
+// collect runs f's interruptible collection when it offers one and a stop
+// hook is wanted, and the plain Collect otherwise.
+func collect(f Filter, q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool) {
+	if stop != nil {
+		if sf, ok := f.(StoppableFilter); ok {
+			sf.CollectStop(q, cs, st, stop)
+			return
+		}
+	}
+	f.Collect(q, cs, st)
+}
+
+// StreamOptions parameterizes Searcher.SearchStream.
+type StreamOptions struct {
+	// Emit receives each verified match and reports whether the consumer
+	// wants more; returning false stops the search. Required.
+	Emit func(Match) bool
+	// Stop, when non-nil, is polled between filter work units and between
+	// verifications; returning true abandons the search. Wire it to context
+	// cancellation or a shared emission counter.
+	Stop func() bool
+	// ByID delays verification until collection finishes and verifies in
+	// ascending object-ID order, so matches emit ID-sorted exactly like
+	// Search's result slice. The default verifies each candidate the moment
+	// the filter produces it, which lets a Stop hook that trips once enough
+	// matches were emitted cut the remaining postings scans — at the cost of
+	// an unspecified emission order.
+	ByID bool
+}
+
+// SearchStream answers q incrementally, pushing every verified match to
+// opts.Emit as soon as it is proven. The returned stats report the work
+// actually performed: an early-terminated search reports fewer postings,
+// candidates and results than Search would.
+//
+// In the default arrival-order mode verification interleaves with
+// collection, so the phase split is not observable; the entire elapsed time
+// is reported as FilterTime and VerifyTime stays zero. The ByID mode keeps
+// Search's two-phase timing.
+func (s *Searcher) SearchStream(q *model.Query, opts StreamOptions) SearchStats {
+	if opts.ByID {
+		return s.streamByID(q, opts)
+	}
+	var st SearchStats
+	start := time.Now()
+	s.cs.Reset()
+	stopped := false
+	stop := func() bool {
+		return stopped || (opts.Stop != nil && opts.Stop())
+	}
+	s.cs.onAdd = func(obj uint32) {
+		if stopped {
+			// The consumer already declined a match; the filter keeps adding
+			// candidates until its next stop poll, but verifying them would
+			// be wasted work.
+			return
+		}
+		m, ok := s.verify(q, model.ObjectID(obj))
+		if !ok {
+			return
+		}
+		if !opts.Emit(m) {
+			stopped = true
+			return
+		}
+		st.Results++
+	}
+	// The hook must not outlive this call: the searcher returns to its pool
+	// and the next Search must not verify through a dead stream.
+	defer func() { s.cs.onAdd = nil }()
+	collect(s.filter, q, s.cs, &st.FilterStats, stop)
+	st.Candidates = s.cs.Len()
+	st.FilterTime = time.Since(start)
+	return st
+}
+
+// streamByID is SearchStream's ordered mode: collection runs to completion
+// (interrupted only by opts.Stop, e.g. a canceled context), candidates sort
+// by ID, and verification proceeds in ascending ID order until Emit declines
+// further matches — so a consumer wanting the L smallest-ID matches caps the
+// verification work at L successes.
+func (s *Searcher) streamByID(q *model.Query, opts StreamOptions) SearchStats {
+	var st SearchStats
+	start := time.Now()
+	s.cs.Reset()
+	collect(s.filter, q, s.cs, &st.FilterStats, opts.Stop)
+	st.Candidates = s.cs.Len()
+	st.FilterTime = time.Since(start)
+
+	start = time.Now()
+	ids := append([]uint32(nil), s.cs.IDs()...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, obj := range ids {
+		if opts.Stop != nil && opts.Stop() {
+			break
+		}
+		m, ok := s.verify(q, model.ObjectID(obj))
+		if !ok {
+			continue
+		}
+		if !opts.Emit(m) {
+			break
+		}
+		st.Results++
+	}
+	st.VerifyTime = time.Since(start)
+	return st
+}

@@ -56,6 +56,12 @@ func (f *TokenFilter) Postings() int { return f.idx.Postings() }
 // cT = τT · Σ_{t∈q.T} w(t); prefix filtering retrieves exactly the objects
 // that share a prefix element with the query's prefix.
 func (f *TokenFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterStats) {
+	f.CollectStop(q, cs, st, nil)
+}
+
+// CollectStop implements StoppableFilter: stop is polled before each
+// inverted-list probe.
+func (f *TokenFilter) CollectStop(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool) {
 	_, cT := Thresholds(q)
 	if cT <= 0 {
 		return
@@ -70,6 +76,9 @@ func (f *TokenFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterStats)
 	p := invidx.PrefixLen(weights, cT)
 	slack := invidx.Slack(cT)
 	for _, t := range sig[:p] {
+		if stop != nil && stop() {
+			return
+		}
 		l := f.idx.List(uint64(t))
 		if l == nil {
 			continue

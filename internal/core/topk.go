@@ -63,6 +63,12 @@ type TopKOptions struct {
 	// scores strictly below it and cannot enter the global top k, so the
 	// descent stops early and returns what it has.
 	StopBelow func() float64
+
+	// Stats, when non-nil, accumulates the cost of every descent round's
+	// underlying threshold search. Counters add across rounds, so a deeper
+	// descent (larger K, lower floors) shows up directly as more lists
+	// probed, postings scanned and candidates verified.
+	Stats *SearchStats
 }
 
 // ScoredMatch is one top-k result.
@@ -107,7 +113,10 @@ func (s *Searcher) TopK(region geo.Rect, terms []string, opts TopKOptions) ([]Sc
 		if err != nil {
 			return nil, err
 		}
-		matches, _ := s.Search(q)
+		matches, rst := s.Search(q)
+		if opts.Stats != nil {
+			opts.Stats.Merge(rst)
+		}
 		ranked, complete := rankMatches(matches, opts, score)
 		if opts.Observe != nil {
 			opts.Observe(ranked[:complete])

@@ -1,0 +1,219 @@
+package engine
+
+// Push-based execution: the engine side of the public Stream/Query API.
+// SearchStream fans a compiled query out across shards and emits verified
+// matches through a bounded channel as shards produce them; a shared atomic
+// emission count enforces Limit so that reaching it interrupts the
+// outstanding shard searches mid-filter — fewer postings scanned and fewer
+// verifications, not a post-hoc truncation. SearchLimited is the ordered
+// sibling: it keeps Search's ascending-ID order exact under a limit by
+// capping per-shard verification instead of interrupting collection.
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/model"
+)
+
+// StreamOptions sizes one streamed search.
+type StreamOptions struct {
+	// Limit bounds the number of matches pushed into the stream; 0 means
+	// unlimited. The limit is shared across shards through an atomic count
+	// their stop hooks poll, so reaching it cuts the remaining filter scans
+	// and verifications short.
+	Limit int
+	// Parallelism bounds the number of shards searching concurrently;
+	// values < 1 mean all shards at once.
+	Parallelism int
+	// Buffer is the emission channel's capacity; values < 1 mean 64.
+	Buffer int
+}
+
+// MatchStream is a live streamed search. Consume with Next until it reports
+// false; Err and Stats become valid once the stream ends (they block until
+// the producers have exited). A consumer abandoning the stream early must
+// call Close, or producer goroutines stay parked on the emission channel —
+// Close is idempotent and safe after full consumption too.
+type MatchStream struct {
+	ch     chan core.Match
+	cancel context.CancelFunc
+	done   chan struct{} // closed after stats/err are final
+	err    error
+	stats  core.SearchStats
+}
+
+// Next returns the next verified match, or ok=false when the stream is
+// exhausted (limit reached, shards drained, context expired, or Closed).
+func (s *MatchStream) Next() (m core.Match, ok bool) {
+	m, ok = <-s.ch
+	return m, ok
+}
+
+// Err reports why the stream ended: nil for a complete (or limit-satisfied,
+// or Closed) stream, the context's error if it expired mid-search.
+func (s *MatchStream) Err() error {
+	<-s.done
+	return s.err
+}
+
+// Stats reports the work actually performed, summed over shards. An
+// early-terminated stream reports the reduced counts.
+func (s *MatchStream) Stats() core.SearchStats {
+	<-s.done
+	return s.stats
+}
+
+// Close abandons the stream: outstanding shard searches are interrupted and
+// their unread matches discarded.
+func (s *MatchStream) Close() {
+	s.cancel()
+	for range s.ch { // drain so parked producers observe cancellation and exit
+	}
+}
+
+// SearchStream answers a compiled threshold query as a push-based stream.
+// Every shard runs an interleaved filter/verify search concurrently and
+// emits global-ID matches into the stream's bounded channel in arrival
+// order (no cross-shard ordering). The query must be compiled against the
+// engine's root dataset, exactly as for Search.
+func (e *Engine) SearchStream(ctx context.Context, q *model.Query, opts StreamOptions) *MatchStream {
+	buffer := opts.Buffer
+	if buffer < 1 {
+		buffer = 64
+	}
+	par := opts.Parallelism
+	if par < 1 || par > len(e.shards) {
+		par = len(e.shards)
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	ms := &MatchStream{
+		ch:     make(chan core.Match, buffer),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	limit := int64(opts.Limit)
+	var emitted atomic.Int64
+	stop := func() bool {
+		if limit > 0 && emitted.Load() >= limit {
+			return true
+		}
+		return sctx.Err() != nil
+	}
+
+	var mu sync.Mutex // guards ms.stats while shards finish concurrently
+	go func() {
+		defer close(ms.done)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, par)
+		for _, s := range e.shards {
+			wg.Add(1)
+			go func(s *shard) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if stop() {
+					return
+				}
+				sr := s.pool.Get()
+				st := sr.SearchStream(q, core.StreamOptions{
+					Stop: stop,
+					Emit: func(m core.Match) bool {
+						// Reserve an emission slot before sending: at most
+						// Limit sends ever succeed, and an over-reservation
+						// trips every shard's stop hook.
+						if limit > 0 && emitted.Add(1) > limit {
+							return false
+						}
+						m.ID = s.global(m.ID)
+						select {
+						case ms.ch <- m:
+							return true
+						case <-sctx.Done():
+							return false
+						}
+					},
+				})
+				s.pool.Put(sr)
+				mu.Lock()
+				ms.stats.Merge(st)
+				mu.Unlock()
+			}(s)
+		}
+		wg.Wait()
+		// Only the parent context's expiry is an error; sctx canceled via
+		// Close means the consumer chose to walk away.
+		ms.err = ctx.Err()
+		close(ms.ch)
+	}()
+	return ms
+}
+
+// SearchLimited answers a compiled threshold query like Search but returns
+// only the limit matches with the smallest global IDs — the exact limit-
+// prefix of Search's ID-ordered result. Each shard collects its candidates
+// fully (ordering needs the whole candidate set) but verifies them in
+// ascending ID order and stops after limit local matches, since no shard can
+// contribute more than limit entries to the global prefix; the per-shard
+// lists then merge and truncate. limit <= 0 means unlimited — an ID-ordered
+// scatter that exists for its parallelism bound. parallelism bounds
+// concurrent shard searches (values < 1 mean all shards).
+func (e *Engine) SearchLimited(ctx context.Context, q *model.Query, limit, parallelism int) ([]core.Match, core.SearchStats, error) {
+	if limit <= 0 && parallelism <= 0 {
+		return e.Search(ctx, q)
+	}
+	par := parallelism
+	if par < 1 || par > len(e.shards) {
+		par = len(e.shards)
+	}
+	localCap := limit
+	if localCap <= 0 {
+		localCap = 16
+	}
+	lists := make([][]core.Match, len(e.shards))
+	stats := make([]core.SearchStats, len(e.shards))
+	err := ForEach(ctx, len(e.shards), par, func(ctx context.Context, i int) error {
+		s := e.shards[i]
+		local := make([]core.Match, 0, localCap)
+		sr := s.pool.Get()
+		stats[i] = sr.SearchStream(q, core.StreamOptions{
+			ByID: true,
+			Stop: func() bool { return ctx.Err() != nil },
+			Emit: func(m core.Match) bool {
+				m.ID = s.global(m.ID)
+				local = append(local, m)
+				return limit <= 0 || len(local) < limit
+			},
+		})
+		s.pool.Put(sr)
+		lists[i] = local
+		return ctx.Err()
+	})
+	if err != nil {
+		return nil, core.SearchStats{}, err
+	}
+	var st core.SearchStats
+	total := 0
+	for i, l := range lists {
+		total += len(l)
+		st.Merge(stats[i])
+	}
+	merged := make([]core.Match, 0, total)
+	for _, l := range lists {
+		merged = append(merged, l...)
+	}
+	// Shard partitions are ID-sorted and disjoint, and each shard emitted in
+	// ascending order, so this is a k-way merge of sorted runs; a plain sort
+	// keeps it simple.
+	sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
+	if limit > 0 && len(merged) > limit {
+		merged = merged[:limit]
+	}
+	// Per-shard Results count local emissions; the query's answer is the
+	// truncated merge.
+	st.Results = len(merged)
+	return merged, st, nil
+}

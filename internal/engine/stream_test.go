@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/sealdb/seal/internal/baseline"
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/model"
+)
+
+func scanEngine(t testing.TB, ds *model.Dataset, shards int) *Engine {
+	t.Helper()
+	e, err := Build(ds, Config{
+		Shards:    shards,
+		NewFilter: func(sds *model.Dataset) (core.Filter, error) { return baseline.NewScan(sds), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func streamQuery(t testing.TB, ds *model.Dataset, seed int64) *model.Query {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	q, err := ds.NewQuery(geo.Rect{MinX: 0, MinY: 0, MaxX: 95, MaxY: 95},
+		[]string{fmt.Sprintf("t%d", rng.Intn(20))}, 0.001, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// drain consumes a stream fully and returns the matches in arrival order.
+func drain(ms *MatchStream) []core.Match {
+	var out []core.Match
+	for {
+		m, ok := ms.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, m)
+	}
+}
+
+func TestSearchStreamMatchesSearch(t *testing.T) {
+	ds := testDataset(t, 300, 21)
+	for _, shards := range []int{1, 4} {
+		e := scanEngine(t, ds, shards)
+		q := streamQuery(t, ds, 3)
+		want, wantStats, err := e.Search(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := e.SearchStream(context.Background(), q, StreamOptions{})
+		got := drain(ms)
+		if err := ms.Err(); err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].ID < got[j].ID })
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: stream yielded %d matches, search %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d match %d: %+v, want %+v", shards, i, got[i], want[i])
+			}
+		}
+		st := ms.Stats()
+		if st.PostingsScanned != wantStats.PostingsScanned || st.Results != wantStats.Results {
+			t.Fatalf("shards=%d: unbounded stream stats %+v differ from search stats %+v", shards, st, wantStats)
+		}
+	}
+}
+
+func TestSearchStreamLimitInterruptsWork(t *testing.T) {
+	ds := testDataset(t, 4000, 22)
+	e := scanEngine(t, ds, 4)
+	q := streamQuery(t, ds, 5)
+
+	_, full, err := e.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Results < 50 {
+		t.Fatalf("want a dense query for this test, got %d results", full.Results)
+	}
+
+	const limit = 5
+	ms := e.SearchStream(context.Background(), q, StreamOptions{Limit: limit})
+	got := drain(ms)
+	if err := ms.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != limit {
+		t.Fatalf("limited stream yielded %d matches, want %d", len(got), limit)
+	}
+	st := ms.Stats()
+	if st.PostingsScanned >= full.PostingsScanned/2 {
+		t.Fatalf("limit did not reduce postings: %d scanned vs %d full", st.PostingsScanned, full.PostingsScanned)
+	}
+	if st.Candidates >= full.Candidates/2 {
+		t.Fatalf("limit did not reduce candidates: %d vs %d full", st.Candidates, full.Candidates)
+	}
+}
+
+func TestSearchStreamCloseInterruptsProducers(t *testing.T) {
+	ds := testDataset(t, 2000, 23)
+	e := scanEngine(t, ds, 4)
+	q := streamQuery(t, ds, 7)
+
+	// Tiny buffer so producers park on the channel, then walk away early.
+	ms := e.SearchStream(context.Background(), q, StreamOptions{Buffer: 1})
+	if _, ok := ms.Next(); !ok {
+		t.Fatal("expected at least one match before closing")
+	}
+	ms.Close()
+	if err := ms.Err(); err != nil {
+		t.Fatalf("Close is not an error, got %v", err)
+	}
+	// Stats must be settled and partial (the full scan never happened).
+	if st := ms.Stats(); st.PostingsScanned >= 2000 {
+		t.Fatalf("abandoned stream still scanned everything (%d postings)", st.PostingsScanned)
+	}
+}
+
+func TestSearchStreamContextCanceled(t *testing.T) {
+	ds := testDataset(t, 500, 24)
+	e := scanEngine(t, ds, 2)
+	q := streamQuery(t, ds, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ms := e.SearchStream(ctx, q, StreamOptions{})
+	drain(ms)
+	if err := ms.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", err)
+	}
+}
+
+func TestSearchLimitedIsPrefixOfSearch(t *testing.T) {
+	ds := testDataset(t, 600, 25)
+	for _, shards := range []int{1, 3} {
+		e := scanEngine(t, ds, shards)
+		q := streamQuery(t, ds, 11)
+		want, _, err := e.Search(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, limit := range []int{1, 3, len(want), len(want) + 10} {
+			got, st, err := e.SearchLimited(context.Background(), q, limit, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := limit
+			if n > len(want) {
+				n = len(want)
+			}
+			if len(got) != n {
+				t.Fatalf("shards=%d limit=%d: %d matches, want %d", shards, limit, len(got), n)
+			}
+			for i := 0; i < n; i++ {
+				if got[i] != want[i] {
+					t.Fatalf("shards=%d limit=%d match %d: %+v, want %+v", shards, limit, i, got[i], want[i])
+				}
+			}
+			if st.Results != len(got) {
+				t.Fatalf("shards=%d limit=%d: stats.Results = %d, want %d", shards, limit, st.Results, len(got))
+			}
+		}
+	}
+}
+
+func TestSearchStreamParallelismBound(t *testing.T) {
+	ds := testDataset(t, 400, 26)
+	e := scanEngine(t, ds, 8)
+	q := streamQuery(t, ds, 13)
+	want, _, err := e.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := e.SearchStream(context.Background(), q, StreamOptions{Parallelism: 2})
+	got := drain(ms)
+	if err := ms.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parallelism-bounded stream yielded %d matches, want %d", len(got), len(want))
+	}
+}

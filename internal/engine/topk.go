@@ -21,9 +21,17 @@ import (
 // yet retrieved scores strictly below k already-retrieved objects, so the
 // global top k is always contained in the gathered lists, and ties break by
 // ascending global object ID exactly as in the unsharded search.
-func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts core.TopKOptions) ([]core.ScoredMatch, error) {
+//
+// The returned stats accumulate the descent rounds' filter-and-verify work
+// across shards; a descent cut short by cooperative pruning (or a small
+// effective k) reports the reduced counts.
+//
+// parallelism bounds the number of shards descending concurrently; values
+// < 1 mean all shards at once (capping it weakens cooperative pruning's
+// concurrency, never its correctness — the tracker only ever tightens).
+func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts core.TopKOptions, parallelism int) ([]core.ScoredMatch, core.SearchStats, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, core.SearchStats{}, err
 	}
 	if opts.Interrupt == nil {
 		opts.Interrupt = ctx.Err
@@ -32,21 +40,36 @@ func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts
 	// weights depend on the total object count, and shards answer with the
 	// root's weights so their scores match the monolithic index exactly.
 	opts.Compile = e.root.NewQuery
+	// The engine owns opts.Stats (one accumulator per shard descent); the
+	// merged total is the returned SearchStats, not a caller-supplied
+	// pointer, which would be overwritten here.
 	if len(e.shards) == 1 {
+		var st core.SearchStats
+		opts.Stats = &st
 		s := e.shards[0]
 		sr := s.pool.Get()
 		defer s.pool.Put(sr)
-		return sr.TopK(region, terms, opts)
+		found, err := sr.TopK(region, terms, opts)
+		// Descent rounds each merged their own Results; the query's answer
+		// count is the final ranking's length.
+		st.Results = len(found)
+		return found, st, err
 	}
 
+	par := parallelism
+	if par < 1 || par > len(e.shards) {
+		par = len(e.shards)
+	}
 	tracker := newKthTracker(len(e.shards), opts.K)
 	lists := make([][]core.ScoredMatch, len(e.shards))
-	err := ForEach(ctx, len(e.shards), len(e.shards), func(ctx context.Context, i int) error {
+	stats := make([]core.SearchStats, len(e.shards))
+	err := ForEach(ctx, len(e.shards), par, func(ctx context.Context, i int) error {
 		s := e.shards[i]
 		o := opts
 		o.Interrupt = ctx.Err
 		o.Observe = func(complete []core.ScoredMatch) { tracker.observe(i, complete) }
 		o.StopBelow = tracker.kth
+		o.Stats = &stats[i]
 		sr := s.pool.Get()
 		found, err := sr.TopK(region, terms, o)
 		s.pool.Put(sr)
@@ -60,9 +83,15 @@ func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, core.SearchStats{}, err
 	}
-	return mergeTopK(lists, opts.K), nil
+	var st core.SearchStats
+	for i := range stats {
+		st.Merge(stats[i])
+	}
+	merged := mergeTopK(lists, opts.K)
+	st.Results = len(merged)
+	return merged, st, nil
 }
 
 // kthTracker maintains the running global k-th-best score across shards.

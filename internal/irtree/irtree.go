@@ -208,6 +208,12 @@ func (t *Tree) SizeBytes() int64 {
 // FilterStats.ListsProbed counts visited nodes and PostingsScanned counts
 // leaf objects whose bound checks ran.
 func (t *Tree) Collect(q *model.Query, cs *core.CandidateSet, st *core.FilterStats) {
+	t.CollectStop(q, cs, st, nil)
+}
+
+// CollectStop implements core.StoppableFilter: stop is polled at each node
+// visit, cutting the tree walk short.
+func (t *Tree) CollectStop(q *model.Query, cs *core.CandidateSet, st *core.FilterStats, stop func() bool) {
 	cR, cT := core.Thresholds(q)
 	if cR <= 0 && cT <= 0 {
 		return
@@ -217,6 +223,9 @@ func (t *Tree) Collect(q *model.Query, cs *core.CandidateSet, st *core.FilterSta
 	slackT := cT - 1e-9*(1+cT)
 	var visit func(n *node)
 	visit = func(n *node) {
+		if stop != nil && stop() {
+			return
+		}
 		st.ListsProbed++
 		if q.Region.IntersectionArea(n.rect) < slackR {
 			return

@@ -1,0 +1,422 @@
+package seal
+
+// The unified query API. One Request type covers both of the library's query
+// models (fixed thresholds, and top-k ranking by combined score), one
+// Results type carries matches plus optional cost stats, and QueryOption
+// carries the per-query knobs: Limit/Offset, result order, stats collection,
+// and shard parallelism. Query materializes, Stream (stream.go) iterates,
+// QueryBatch runs many requests with per-query error reporting. The seven
+// pre-existing Search* methods survive as thin deprecated wrappers.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/engine"
+	"github.com/sealdb/seal/internal/model"
+)
+
+// Request unifies the library's two query models behind one type.
+//
+// A threshold request (K == 0, the zero value's mode) finds every object
+// with simR ≥ TauR and simT ≥ TauT; both thresholds must lie in (0, 1].
+//
+// A ranked request (K > 0) finds the K objects maximizing
+// Alpha·simR + (1−Alpha)·simT among objects with simR ≥ FloorR and
+// simT ≥ FloorT (floors default to 0.05, must lie in [0, 1]); TauR and TauT
+// are ignored. This is the query model of TopKQuery.
+type Request struct {
+	Region Rect
+	Tokens []string
+
+	// Threshold mode.
+	TauR, TauT float64
+
+	// Ranked mode, selected by K > 0.
+	K              int
+	Alpha          float64
+	FloorR, FloorT float64
+}
+
+// Request converts a legacy threshold query for use with Query and Stream.
+func (q Query) Request() Request {
+	return Request{Region: q.Region, Tokens: q.Tokens, TauR: q.TauR, TauT: q.TauT}
+}
+
+// Request converts a legacy top-k query for use with Query and Stream.
+func (q TopKQuery) Request() Request {
+	return Request{
+		Region: q.Region, Tokens: q.Tokens,
+		K: q.K, Alpha: q.Alpha, FloorR: q.FloorR, FloorT: q.FloorT,
+	}
+}
+
+// Ranked reports whether the request asks for top-k ranking rather than
+// threshold filtering.
+func (r Request) Ranked() bool { return r.K != 0 }
+
+// validate catches malformed requests at the API boundary, before any
+// engine work starts.
+func (r Request) validate() error {
+	if r.K < 0 {
+		return fmt.Errorf("seal: ranked request needs K >= 1, got %d", r.K)
+	}
+	if r.K > 0 {
+		if r.Alpha < 0 || r.Alpha > 1 {
+			return fmt.Errorf("seal: ranked request Alpha = %g outside [0, 1]", r.Alpha)
+		}
+		if r.FloorR < 0 || r.FloorR > 1 || r.FloorT < 0 || r.FloorT > 1 {
+			return fmt.Errorf("seal: ranked request floors (%g, %g) outside [0, 1]", r.FloorR, r.FloorT)
+		}
+		return nil
+	}
+	if r.TauR <= 0 || r.TauR > 1 || r.TauT <= 0 || r.TauT > 1 {
+		return fmt.Errorf("seal: threshold request needs TauR and TauT in (0, 1], got (%g, %g)", r.TauR, r.TauT)
+	}
+	return nil
+}
+
+// Results is one query's answer.
+type Results struct {
+	// Matches holds the verified answers in the requested order. Ranked
+	// requests fill each match's Score.
+	Matches []Match
+	// Stats is the query's cost breakdown, non-nil when CollectStats (or
+	// StatsInto) was requested. On an early-terminated query the counters
+	// report the reduced work actually done.
+	Stats *Stats
+}
+
+// BatchResult pairs one batch query's Results with its error; exactly one of
+// the two fields is set.
+type BatchResult struct {
+	Results *Results
+	Err     error
+}
+
+// resultOrder is the resolved value of the OrderBy* options.
+type resultOrder int
+
+const (
+	orderDefault resultOrder = iota
+	orderID
+	orderScore
+	orderArrival
+)
+
+// queryConfig is the resolved QueryOption set.
+type queryConfig struct {
+	limit        int
+	offset       int
+	order        resultOrder
+	collectStats bool
+	statsInto    *Stats
+	shardPar     int
+	batchPar     int
+	// batched marks executions whose enclosing loop already observes
+	// cancellation between queries, so the per-query mid-flight context
+	// watcher can be skipped (the engine's SearchBatched path).
+	batched bool
+}
+
+// QueryOption tunes one Query, Stream or QueryBatch call.
+type QueryOption func(*queryConfig)
+
+// Limit bounds the number of matches returned (after Offset). On a sharded
+// index the engine shares the emission count across shards and interrupts
+// outstanding filter scans and verifications once the limit is reached, so a
+// small limit does less work, not just returns less. Zero (the default)
+// means unlimited.
+func Limit(n int) QueryOption {
+	return func(c *queryConfig) { c.limit = n }
+}
+
+// Offset skips the first n matches of the requested order before returning
+// any; combine with Limit to page through results. Offsets are only
+// meaningful under a deterministic order (OrderByID, or OrderByScore for
+// ranked requests).
+func Offset(n int) QueryOption {
+	return func(c *queryConfig) { c.offset = n }
+}
+
+// OrderByID orders matches by ascending object ID — the order of the legacy
+// Search methods, and Query's default for threshold requests. With Limit the
+// result is the exact limit-prefix of the full ID-ordered answer.
+func OrderByID() QueryOption {
+	return func(c *queryConfig) { c.order = orderID }
+}
+
+// OrderByScore orders matches by descending combined score (ties by
+// ascending ID) — ranked requests only, and their default.
+func OrderByScore() QueryOption {
+	return func(c *queryConfig) { c.order = orderScore }
+}
+
+// OrderByArrival returns matches in the order shards verify them — no
+// ordering guarantee, maximal early termination. It is Stream's default for
+// threshold requests: matches flow to the consumer while shards are still
+// searching, and with Limit the engine stops all remaining work the moment
+// enough matches were emitted.
+func OrderByArrival() QueryOption {
+	return func(c *queryConfig) { c.order = orderArrival }
+}
+
+// CollectStats asks the query to report its cost breakdown in Results.Stats.
+func CollectStats() QueryOption {
+	return func(c *queryConfig) { c.collectStats = true }
+}
+
+// StatsInto writes the query's cost breakdown into st when execution
+// finishes. It is the stats channel for Stream, whose iterator cannot carry
+// a Results: st is filled when the stream ends (drained, limit satisfied, or
+// abandoned — an abandoned stream reports the partial work done). It implies
+// CollectStats on Query. QueryBatch only honors the CollectStats side (each
+// query's breakdown arrives in its own Results.Stats); the shared pointer is
+// not written, since concurrent queries would race on it.
+func StatsInto(st *Stats) QueryOption {
+	return func(c *queryConfig) { c.statsInto = st }
+}
+
+// ShardParallelism bounds how many shards search concurrently for this
+// query; values < 1 (the default) mean all shards at once. Lower values
+// trade latency for less peak load — useful when many queries run at once.
+func ShardParallelism(n int) QueryOption {
+	return func(c *queryConfig) { c.shardPar = n }
+}
+
+// BatchParallelism bounds how many queries of a QueryBatch run concurrently;
+// values < 1 (the default) mean one per available CPU, capped at the batch
+// size. It has no effect on Query or Stream.
+func BatchParallelism(n int) QueryOption {
+	return func(c *queryConfig) { c.batchPar = n }
+}
+
+func resolveOptions(opts []QueryOption) (queryConfig, error) {
+	var c queryConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if c.limit < 0 {
+		return c, fmt.Errorf("seal: negative Limit %d", c.limit)
+	}
+	if c.offset < 0 {
+		return c, fmt.Errorf("seal: negative Offset %d", c.offset)
+	}
+	if c.statsInto != nil {
+		c.collectStats = true
+	}
+	return c, nil
+}
+
+// Query answers req, materializing the full result. Threshold requests
+// default to OrderByID — with no options, Query(ctx, q.Request()) returns
+// exactly what SearchContext(ctx, q) does. Ranked requests default to
+// OrderByScore. With Limit the engine terminates early instead of truncating
+// (see Limit); Stream delivers the same matches incrementally.
+func (ix *Index) Query(ctx context.Context, req Request, opts ...QueryOption) (*Results, error) {
+	cfg, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return ix.query(ctx, req, cfg)
+}
+
+// query is the shared execution path behind Query, QueryBatch, Stream's
+// materialized orders, and the legacy wrappers.
+func (ix *Index) query(ctx context.Context, req Request, cfg queryConfig) (*Results, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	if req.Ranked() {
+		return ix.queryRanked(ctx, req, cfg)
+	}
+	return ix.queryThreshold(ctx, req, cfg)
+}
+
+// engineLimit is the number of matches the engine must produce to satisfy
+// offset+limit pagination; 0 means unlimited.
+func (c queryConfig) engineLimit() int {
+	if c.limit == 0 {
+		return 0
+	}
+	return c.offset + c.limit
+}
+
+// page applies offset/limit to an ordered match slice.
+func (c queryConfig) page(matches []Match) []Match {
+	if c.offset > 0 {
+		if c.offset >= len(matches) {
+			return matches[:0]
+		}
+		matches = matches[c.offset:]
+	}
+	if c.limit > 0 && len(matches) > c.limit {
+		matches = matches[:c.limit]
+	}
+	return matches
+}
+
+func (ix *Index) queryThreshold(ctx context.Context, req Request, cfg queryConfig) (*Results, error) {
+	order := cfg.order
+	if order == orderDefault {
+		order = orderID
+	}
+	if order == orderScore {
+		return nil, fmt.Errorf("seal: OrderByScore requires a ranked request (set Request.K)")
+	}
+	mq, err := ix.ds.NewQuery(rectIn(req.Region), req.Tokens, req.TauR, req.TauT)
+	if err != nil {
+		return nil, err
+	}
+
+	var found []core.Match
+	var st core.SearchStats
+	switch {
+	case order == orderArrival:
+		found, st, err = ix.drainStream(ctx, mq, cfg)
+	case cfg.engineLimit() > 0 || cfg.shardPar > 0:
+		// SearchLimited is the ID-ordered scatter with a verification cap
+		// and a shard-parallelism bound; limit 0 means uncapped.
+		found, st, err = ix.eng.SearchLimited(ctx, mq, cfg.engineLimit(), cfg.shardPar)
+	case cfg.batched:
+		found, st, err = ix.eng.SearchBatched(ctx, mq)
+	default:
+		found, st, err = ix.eng.Search(ctx, mq)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	matches := make([]Match, len(found))
+	for i, m := range found {
+		matches[i] = Match{ID: int(m.ID), SimR: m.SimR, SimT: m.SimT}
+	}
+	return ix.finish(cfg.page(matches), st, cfg), nil
+}
+
+// drainStream materializes an arrival-order engine stream.
+func (ix *Index) drainStream(ctx context.Context, mq *model.Query, cfg queryConfig) ([]core.Match, core.SearchStats, error) {
+	ms := ix.eng.SearchStream(ctx, mq, engine.StreamOptions{
+		Limit:       cfg.engineLimit(),
+		Parallelism: cfg.shardPar,
+	})
+	defer ms.Close()
+	var found []core.Match
+	for {
+		m, ok := ms.Next()
+		if !ok {
+			break
+		}
+		found = append(found, m)
+	}
+	if err := ms.Err(); err != nil {
+		return nil, core.SearchStats{}, err
+	}
+	return found, ms.Stats(), nil
+}
+
+func (ix *Index) queryRanked(ctx context.Context, req Request, cfg queryConfig) (*Results, error) {
+	order := cfg.order
+	if order == orderDefault || order == orderArrival {
+		// Ranking produces the score order; "arrival" has no distinct
+		// meaning for a materialized descent.
+		order = orderScore
+	}
+	effK := req.K
+	if n := cfg.engineLimit(); n > 0 && n < effK {
+		// The caller pages through fewer entries than K: a smaller effective
+		// k lets the descent (and the cross-shard pruning bound) stop
+		// earlier.
+		effK = n
+	}
+	found, st, err := ix.eng.TopK(ctx, rectIn(req.Region), req.Tokens, core.TopKOptions{
+		K:      effK,
+		Alpha:  req.Alpha,
+		FloorR: req.FloorR,
+		FloorT: req.FloorT,
+	}, cfg.shardPar)
+	if err != nil {
+		return nil, err
+	}
+	matches := make([]Match, len(found))
+	for i, m := range found {
+		matches[i] = Match{ID: int(m.ID), SimR: m.SimR, SimT: m.SimT, Score: m.Score}
+	}
+	// Pagination walks the score ranking; OrderByID then re-orders the
+	// selected page for presentation.
+	matches = cfg.page(matches)
+	if order == orderID {
+		sort.Slice(matches, func(i, j int) bool { return matches[i].ID < matches[j].ID })
+	}
+	return ix.finish(matches, st, cfg), nil
+}
+
+// finish assembles Results and serves the stats options.
+func (ix *Index) finish(matches []Match, st core.SearchStats, cfg queryConfig) *Results {
+	res := &Results{Matches: matches}
+	if cfg.collectStats {
+		s := statsOut(st)
+		res.Stats = &s
+		if cfg.statsInto != nil {
+			*cfg.statsInto = s
+		}
+	}
+	return res
+}
+
+func statsOut(st core.SearchStats) Stats {
+	return Stats{
+		Candidates:      st.Candidates,
+		Results:         st.Results,
+		ListsProbed:     st.ListsProbed,
+		PostingsScanned: st.PostingsScanned,
+		FilterTime:      st.FilterTime,
+		VerifyTime:      st.VerifyTime,
+	}
+}
+
+// QueryBatch answers many requests concurrently and reports each query's
+// outcome individually: one malformed or failed query costs only its own
+// slot, never the completed work of its neighbors. The result is
+// positionally aligned with reqs. Canceling ctx stops the batch early;
+// queries that never ran carry the context's error. Options apply to every
+// query (BatchParallelism bounds the concurrency).
+func (ix *Index) QueryBatch(ctx context.Context, reqs []Request, opts ...QueryOption) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	cfg, err := resolveOptions(opts)
+	if err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	par := cfg.batchPar
+	if par < 1 {
+		par = defaultParallelism(len(reqs))
+	}
+	cfg.batched = true
+	// Concurrent queries must not write one shared Stats variable; keep the
+	// implied CollectStats (per-query breakdowns in Results.Stats) but drop
+	// the pointer.
+	cfg.statsInto = nil
+	ferr := engine.ForEach(ctx, len(reqs), par, func(ctx context.Context, i int) error {
+		res, err := ix.query(ctx, reqs[i], cfg)
+		if err != nil {
+			// The inner error already carries the library prefix.
+			out[i].Err = fmt.Errorf("batch query %d: %w", i, err)
+			return nil // per-query failures stay per-query
+		}
+		out[i].Results = res
+		return nil
+	})
+	if ferr != nil {
+		for i := range out {
+			if out[i].Results == nil && out[i].Err == nil {
+				out[i].Err = ferr
+			}
+		}
+	}
+	return out
+}

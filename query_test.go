@@ -1,0 +1,312 @@
+package seal_test
+
+// Tests for the unified Request/Results API surface: boundary validation of
+// ranked requests and options, per-query error reporting in QueryBatch (the
+// regression fix for SearchBatch's all-or-nothing failure), and pagination
+// semantics under the deterministic orders.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/sealdb/seal"
+)
+
+func queryTestIndex(t *testing.T, n int, opts ...seal.Option) *seal.Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	ix, err := seal.Build(shardObjects(n, rng), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestRequestValidation(t *testing.T) {
+	ix := queryTestIndex(t, 60)
+	region := seal.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50}
+	cases := []struct {
+		name string
+		req  seal.Request
+		want string
+	}{
+		{"negative K", seal.Request{Region: region, Tokens: []string{"t1"}, K: -3}, "K >= 1"},
+		{"alpha above 1", seal.Request{Region: region, Tokens: []string{"t1"}, K: 2, Alpha: 1.5}, "Alpha"},
+		{"alpha below 0", seal.Request{Region: region, Tokens: []string{"t1"}, K: 2, Alpha: -0.1}, "Alpha"},
+		{"floor above 1", seal.Request{Region: region, Tokens: []string{"t1"}, K: 2, Alpha: 0.5, FloorR: 1.2}, "floors"},
+		{"negative floor", seal.Request{Region: region, Tokens: []string{"t1"}, K: 2, Alpha: 0.5, FloorT: -0.2}, "floors"},
+		{"zero thresholds", seal.Request{Region: region, Tokens: []string{"t1"}}, "TauR and TauT"},
+		{"threshold above 1", seal.Request{Region: region, Tokens: []string{"t1"}, TauR: 0.5, TauT: 1.5}, "TauR and TauT"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ix.Query(context.Background(), c.req); err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Query error = %v, want one mentioning %q", err, c.want)
+			}
+		})
+	}
+
+	// Legacy boundary: SearchTopK must reject K <= 0 descriptively instead of
+	// misbehaving.
+	for _, k := range []int{0, -1} {
+		if _, err := ix.SearchTopK(seal.TopKQuery{Region: region, Tokens: []string{"t1"}, K: k}); err == nil ||
+			!strings.Contains(err.Error(), "K >= 1") {
+			t.Fatalf("SearchTopK(K=%d) error = %v, want a descriptive K error", k, err)
+		}
+	}
+
+	// Option validation.
+	okReq := seal.Request{Region: region, Tokens: []string{"t1"}, TauR: 0.2, TauT: 0.2}
+	if _, err := ix.Query(context.Background(), okReq, seal.Limit(-1)); err == nil {
+		t.Fatal("negative Limit should fail")
+	}
+	if _, err := ix.Query(context.Background(), okReq, seal.Offset(-2)); err == nil {
+		t.Fatal("negative Offset should fail")
+	}
+	if _, err := ix.Query(context.Background(), okReq, seal.OrderByScore()); err == nil ||
+		!strings.Contains(err.Error(), "ranked") {
+		t.Fatal("OrderByScore on a threshold request should fail descriptively")
+	}
+}
+
+// TestQueryBatchPerQueryErrors is the regression test for the satellite fix:
+// one malformed query must cost only its own slot, and every other query's
+// completed Results must survive.
+func TestQueryBatchPerQueryErrors(t *testing.T) {
+	ix := queryTestIndex(t, 300, seal.WithMethod(seal.MethodScan), seal.WithShards(3))
+	rng := rand.New(rand.NewSource(42))
+	queries := shardQueries(10, rng)
+	reqs := make([]seal.Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = q.Request()
+	}
+	reqs[4].TauR = -1 // poison one slot
+
+	out := ix.QueryBatch(context.Background(), reqs)
+	if len(out) != len(reqs) {
+		t.Fatalf("batch returned %d results for %d requests", len(out), len(reqs))
+	}
+	for i, r := range out {
+		if i == 4 {
+			if r.Err == nil || r.Results != nil {
+				t.Fatalf("poisoned slot 4 = %+v, want only an error", r)
+			}
+			if !strings.Contains(r.Err.Error(), "batch query 4") {
+				t.Fatalf("poisoned slot error %q does not identify the query", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("slot %d failed: %v (one bad query must not nuke the batch)", i, r.Err)
+		}
+		want, err := ix.Search(queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalMatches(r.Results.Matches, want) {
+			t.Fatalf("slot %d matches differ from Search", i)
+		}
+	}
+}
+
+// TestQueryBatchStatsInto: a shared StatsInto pointer must not be written
+// by concurrent batch queries (that would race); the implied CollectStats
+// still attaches per-query breakdowns.
+func TestQueryBatchStatsInto(t *testing.T) {
+	ix := queryTestIndex(t, 200, seal.WithMethod(seal.MethodScan), seal.WithShards(2))
+	rng := rand.New(rand.NewSource(44))
+	queries := shardQueries(16, rng)
+	reqs := make([]seal.Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = q.Request()
+	}
+	var shared seal.Stats
+	out := ix.QueryBatch(context.Background(), reqs, seal.StatsInto(&shared), seal.BatchParallelism(8))
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("slot %d: %v", i, r.Err)
+		}
+		if r.Results.Stats == nil {
+			t.Fatalf("slot %d missing its per-query Stats", i)
+		}
+	}
+	if shared != (seal.Stats{}) {
+		t.Fatalf("shared StatsInto variable was written by the batch: %+v", shared)
+	}
+}
+
+func TestQueryBatchContextCanceled(t *testing.T) {
+	ix := queryTestIndex(t, 100, seal.WithMethod(seal.MethodScan))
+	rng := rand.New(rand.NewSource(43))
+	queries := shardQueries(20, rng)
+	reqs := make([]seal.Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = q.Request()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := ix.QueryBatch(ctx, reqs)
+	for i, r := range out {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("slot %d = %+v, want context.Canceled for a pre-canceled batch", i, r)
+		}
+	}
+}
+
+// TestQueryPagination: Offset/Limit pages under OrderByID concatenate back
+// to the full ID-ordered result.
+func TestQueryPagination(t *testing.T) {
+	ix := queryTestIndex(t, 400, seal.WithMethod(seal.MethodScan), seal.WithShards(2))
+	req := seal.Request{
+		Region: seal.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100},
+		Tokens: []string{"t1", "t2"},
+		TauR:   0.001,
+		TauT:   0.001,
+	}
+	full, err := ix.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Matches) < 10 {
+		t.Fatalf("want a dense query, got %d matches", len(full.Matches))
+	}
+	pageSize := 7
+	var paged []seal.Match
+	for off := 0; ; off += pageSize {
+		res, err := ix.Query(context.Background(), req, seal.OrderByID(), seal.Offset(off), seal.Limit(pageSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matches) == 0 {
+			break
+		}
+		paged = append(paged, res.Matches...)
+	}
+	if !equalMatches(paged, full.Matches) {
+		t.Fatalf("concatenated pages (%d matches) differ from the full result (%d)", len(paged), len(full.Matches))
+	}
+
+	// Offset past the end is empty, not an error.
+	res, err := ix.Query(context.Background(), req, seal.OrderByID(), seal.Offset(len(full.Matches)+5), seal.Limit(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 0 {
+		t.Fatalf("offset past the end returned %d matches", len(res.Matches))
+	}
+}
+
+// TestRankedPagination: for ranked requests, Offset/Limit walk the score
+// ranking, and OrderByID re-orders only the selected page.
+func TestRankedPagination(t *testing.T) {
+	ix := queryTestIndex(t, 300, seal.WithMethod(seal.MethodScan), seal.WithShards(3))
+	req := seal.Request{
+		Region: seal.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100},
+		Tokens: []string{"t1", "t2"},
+		K:      12,
+		Alpha:  0.5,
+		FloorR: 0.001,
+		FloorT: 0.001,
+	}
+	full, err := ix.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Matches) < 8 {
+		t.Fatalf("want at least 8 ranked matches, got %d", len(full.Matches))
+	}
+	res, err := ix.Query(context.Background(), req, seal.Offset(2), seal.Limit(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalMatches(res.Matches, full.Matches[2:6]) {
+		t.Fatalf("ranked page = %v, want ranks 2..5 of the full ranking", res.Matches)
+	}
+	byID, err := ix.Query(context.Background(), req, seal.Offset(2), seal.Limit(4), seal.OrderByID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalMatches(byID.Matches, sortByID(full.Matches[2:6])) {
+		t.Fatalf("ranked OrderByID page = %v, want the same ranks ID-sorted", byID.Matches)
+	}
+}
+
+// TestShardParallelismEquivalence: capping per-query shard fan-out changes
+// scheduling only — threshold and ranked answers stay identical.
+func TestShardParallelismEquivalence(t *testing.T) {
+	ix := queryTestIndex(t, 400, seal.WithMethod(seal.MethodScan), seal.WithShards(8))
+	req := seal.Request{
+		Region: seal.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100},
+		Tokens: []string{"t1", "t2"},
+		TauR:   0.001,
+		TauT:   0.001,
+	}
+	want, err := ix.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Query(context.Background(), req, seal.ShardParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalMatches(got.Matches, want.Matches) {
+		t.Fatal("ShardParallelism(2) changed the threshold answer")
+	}
+	ranked := seal.Request{Region: req.Region, Tokens: req.Tokens, K: 6, Alpha: 0.5, FloorR: 0.001, FloorT: 0.001}
+	wantR, err := ix.Query(context.Background(), ranked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotR, err := ix.Query(context.Background(), ranked, seal.ShardParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalMatches(gotR.Matches, wantR.Matches) {
+		t.Fatal("ShardParallelism(2) changed the ranked answer")
+	}
+}
+
+// TestQueryStats: CollectStats attaches a breakdown, its absence leaves
+// Stats nil, and StatsInto fills the caller's variable.
+func TestQueryStats(t *testing.T) {
+	ix := queryTestIndex(t, 200)
+	req := seal.Request{
+		Region: seal.Rect{MinX: 0, MinY: 0, MaxX: 60, MaxY: 60},
+		Tokens: []string{"t1"},
+		TauR:   0.01,
+		TauT:   0.01,
+	}
+	res, err := ix.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != nil {
+		t.Fatal("Stats attached without CollectStats")
+	}
+	var st seal.Stats
+	res, err = ix.Query(context.Background(), req, seal.StatsInto(&st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil || *res.Stats != st {
+		t.Fatalf("StatsInto: Results.Stats = %+v, variable = %+v", res.Stats, st)
+	}
+	if st.Results != len(res.Matches) {
+		t.Fatalf("stats.Results = %d, want %d", st.Results, len(res.Matches))
+	}
+
+	// Ranked requests report descent work too.
+	var rst seal.Stats
+	_, err = ix.Query(context.Background(), seal.Request{
+		Region: req.Region, Tokens: req.Tokens, K: 3, Alpha: 0.5,
+	}, seal.StatsInto(&rst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.PostingsScanned == 0 && rst.Candidates == 0 {
+		t.Fatalf("ranked stats = %+v, want descent work recorded", rst)
+	}
+}

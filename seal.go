@@ -53,6 +53,9 @@ type Match struct {
 	ID int
 	// SimR and SimT are the exact similarities to the query.
 	SimR, SimT float64
+	// Score is the combined ranking score Alpha·SimR + (1−Alpha)·SimT,
+	// filled for ranked requests (Request.K > 0) and zero otherwise.
+	Score float64
 }
 
 // Stats reports the cost breakdown of one search.
@@ -253,6 +256,9 @@ func autoGranularity(ds *model.Dataset, cfg options) (int, error) {
 }
 
 // Search answers q, returning matches sorted by object ID.
+//
+// Deprecated: Use [Index.Query] — Search(q) is Query(ctx, q.Request()) minus
+// the context, the result order and answers are identical.
 func (ix *Index) Search(q Query) ([]Match, error) {
 	return ix.SearchContext(context.Background(), q)
 }
@@ -260,47 +266,28 @@ func (ix *Index) Search(q Query) ([]Match, error) {
 // SearchContext is Search honoring ctx: when the context is canceled or its
 // deadline passes mid-scatter, the call returns ctx's error promptly without
 // waiting for outstanding shard searches.
+//
+// Deprecated: Use [Index.Query], which honors ctx the same way.
 func (ix *Index) SearchContext(ctx context.Context, q Query) ([]Match, error) {
-	matches, _, err := ix.searchWithStats(ctx, q)
-	return matches, err
+	res, err := ix.Query(ctx, q.Request())
+	if err != nil {
+		return nil, err
+	}
+	return res.Matches, nil
 }
 
 // SearchWithStats answers q and reports the cost breakdown. On a sharded
 // index the counters sum over shards, and the phase times report aggregate
 // work across shards rather than wall-clock time.
+//
+// Deprecated: Use [Index.Query] with the [CollectStats] option; the
+// breakdown arrives as Results.Stats.
 func (ix *Index) SearchWithStats(q Query) ([]Match, Stats, error) {
-	return ix.searchWithStats(context.Background(), q)
-}
-
-func (ix *Index) searchWithStats(ctx context.Context, q Query) ([]Match, Stats, error) {
-	return ix.search(ctx, q, ix.eng.Search)
-}
-
-// search compiles q and runs it through one of the engine's execution
-// strategies (interruptible Search, or SearchBatched for batch workers).
-func (ix *Index) search(ctx context.Context, q Query,
-	run func(context.Context, *model.Query) ([]core.Match, core.SearchStats, error)) ([]Match, Stats, error) {
-
-	mq, err := ix.ds.NewQuery(rectIn(q.Region), q.Tokens, q.TauR, q.TauT)
+	res, err := ix.Query(context.Background(), q.Request(), CollectStats())
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	found, st, err := run(ctx, mq)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	matches := make([]Match, len(found))
-	for i, m := range found {
-		matches[i] = Match{ID: int(m.ID), SimR: m.SimR, SimT: m.SimT}
-	}
-	return matches, Stats{
-		Candidates:      st.Candidates,
-		Results:         st.Results,
-		ListsProbed:     st.ListsProbed,
-		PostingsScanned: st.PostingsScanned,
-		FilterTime:      st.FilterTime,
-		VerifyTime:      st.VerifyTime,
-	}, nil
+	return res.Matches, *res.Stats, nil
 }
 
 // Similarity returns the exact spatial and textual similarities between a

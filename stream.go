@@ -1,0 +1,113 @@
+package seal
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"github.com/sealdb/seal/internal/engine"
+)
+
+// Stream answers req as an incremental iterator instead of a materialized
+// slice: matches are yielded as the engine proves them, so a consumer can
+// render, forward or abandon results without waiting for the full answer
+// set. Breaking out of the loop cancels the outstanding shard searches.
+//
+// Threshold requests default to OrderByArrival — matches flow while shards
+// are still searching, in no particular order, and with Limit the engine
+// interrupts all remaining filter and verification work the moment enough
+// matches were emitted. Pass OrderByID() for the legacy Search order; the
+// ordered stream (and every ranked stream) must gather before yielding, so
+// it trades incremental delivery for determinism, though Limit still caps
+// the verification (or descent) work.
+//
+// The iterator yields (Match, nil) pairs and ends with a single
+// (zero Match, err) pair if the query fails or ctx expires mid-stream. Use
+// StatsInto to receive the cost breakdown once the stream ends:
+//
+//	var st seal.Stats
+//	for m, err := range ix.Stream(ctx, req, seal.Limit(10), seal.StatsInto(&st)) {
+//	    if err != nil {
+//	        return err
+//	    }
+//	    fmt.Println(m.ID, m.SimR, m.SimT)
+//	}
+func (ix *Index) Stream(ctx context.Context, req Request, opts ...QueryOption) iter.Seq2[Match, error] {
+	return func(yield func(Match, error) bool) {
+		cfg, err := resolveOptions(opts)
+		if err != nil {
+			yield(Match{}, err)
+			return
+		}
+		if err := req.validate(); err != nil {
+			yield(Match{}, err)
+			return
+		}
+		if req.Ranked() || cfg.order == orderID {
+			// Materialized orders: ranked descents and ID-ordered results
+			// need the gather before the first yield.
+			ix.streamMaterialized(ctx, req, cfg, yield)
+			return
+		}
+		if cfg.order == orderScore {
+			yield(Match{}, fmt.Errorf("seal: OrderByScore requires a ranked request (set Request.K)"))
+			return
+		}
+		ix.streamArrival(ctx, req, cfg, yield)
+	}
+}
+
+// streamMaterialized runs the query through the materializing path and
+// yields from the finished slice.
+func (ix *Index) streamMaterialized(ctx context.Context, req Request, cfg queryConfig, yield func(Match, error) bool) {
+	res, err := ix.query(ctx, req, cfg)
+	if err != nil {
+		yield(Match{}, err)
+		return
+	}
+	for _, m := range res.Matches {
+		if !yield(m, nil) {
+			return
+		}
+	}
+}
+
+// streamArrival is the push-based path: the engine emits verified matches
+// through a bounded channel as shards produce them, and a consumer break
+// interrupts the producers.
+func (ix *Index) streamArrival(ctx context.Context, req Request, cfg queryConfig, yield func(Match, error) bool) {
+	mq, err := ix.ds.NewQuery(rectIn(req.Region), req.Tokens, req.TauR, req.TauT)
+	if err != nil {
+		yield(Match{}, err)
+		return
+	}
+	ms := ix.eng.SearchStream(ctx, mq, engine.StreamOptions{
+		Limit:       cfg.engineLimit(),
+		Parallelism: cfg.shardPar,
+	})
+	defer func() {
+		ms.Close()
+		if cfg.statsInto != nil {
+			// Stats settle once the producers exited; an abandoned stream
+			// reports the partial work it actually did.
+			*cfg.statsInto = statsOut(ms.Stats())
+		}
+	}()
+	skip := cfg.offset
+	for {
+		m, ok := ms.Next()
+		if !ok {
+			break
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		if !yield(Match{ID: int(m.ID), SimR: m.SimR, SimT: m.SimT}, nil) {
+			return
+		}
+	}
+	if err := ms.Err(); err != nil {
+		yield(Match{}, err)
+	}
+}
