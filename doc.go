@@ -98,4 +98,23 @@
 // Query, Stream and QueryBatch honor context.Context: a canceled context or
 // an expired deadline stops the scatter mid-flight and returns (or yields)
 // ctx's error promptly.
+//
+// # Performance
+//
+// The threshold hot path runs an accumulate-then-verify pipeline. Filters
+// whose posting keys prove token membership (token, exact-key hybrid,
+// hierarchical) mark each proven (token, object) pair as they scan, and
+// verification reconstructs the exact common token weight from those marks
+// instead of re-intersecting the token sets — bit-identical to the classic
+// sorted-merge similarity, as the differential tests enforce per candidate
+// and per shard count. Posting lists live in one contiguous arena with an
+// open-addressed key directory (O(1) lookup, sequential traversal, ~40%
+// smaller than the previous per-list heap layout), and every per-query
+// buffer belongs to a reusable per-shard searcher, so steady-state
+// threshold queries allocate nothing. Reproduce the numbers with
+//
+//	go run ./cmd/sealbench -exp scoring -json
+//
+// which reports the filter/verify time split, postings scanned, allocs per
+// query, and the flat-vs-map posting-layout comparison.
 package seal

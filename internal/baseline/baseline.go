@@ -62,11 +62,11 @@ func (f *KeywordFirst) CollectStop(q *model.Query, cs *core.CandidateSet, st *co
 			return
 		}
 		l := f.idx.List(uint64(t))
-		if l == nil {
+		n := l.Len()
+		if n == 0 {
 			continue
 		}
 		st.ListsProbed++
-		n := l.Len()
 		st.PostingsScanned += n
 		w := f.ds.TokenWeight(t)
 		for i := 0; i < n; i++ {

@@ -38,6 +38,8 @@ var Experiments = []Experiment{
 		func(env *Env) (any, error) { return ShardScaling(env) }},
 	{"limit", "Extra: engine-level early termination: Limit vs full search", Limit,
 		func(env *Env) (any, error) { return LimitScaling(env) }},
+	{"scoring", "Extra: accumulator fast path: scan-time scoring, flat postings, allocs/query", Scoring,
+		func(env *Env) (any, error) { return ScoringData(env) }},
 }
 
 // Lookup finds an experiment by name.

@@ -1,0 +1,162 @@
+package core_test
+
+// Allocation regression tests: the scoring fast path exists so steady-state
+// threshold queries run without touching the heap. These tests pin that
+// property with testing.AllocsPerRun so a stray closure, sort.Slice, or
+// per-query buffer can't silently reintroduce allocations.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/model"
+)
+
+// allocDataset builds a single-region dataset (multi-region verification
+// walks geo.RectSet machinery, which is outside the zero-alloc contract).
+func allocDataset(t testing.TB, n int) *model.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	var b model.Builder
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64()*900, rng.Float64()*900
+		w, h := 1+rng.Float64()*40, 1+rng.Float64()*40
+		terms := make([]string, 1+rng.Intn(6))
+		for j := range terms {
+			terms[j] = fmt.Sprintf("tok%d", rng.Intn(30))
+		}
+		if _, err := b.Add(geo.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}, terms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func allocQueries(t testing.TB, ds *model.Dataset, n int) []*model.Query {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	queries := make([]*model.Query, 0, n)
+	for len(queries) < n {
+		x, y := rng.Float64()*800, rng.Float64()*800
+		terms := []string{
+			fmt.Sprintf("tok%d", rng.Intn(30)),
+			fmt.Sprintf("tok%d", rng.Intn(30)),
+			fmt.Sprintf("tok%d", rng.Intn(30)),
+		}
+		q, err := ds.NewQuery(geo.Rect{MinX: x, MinY: y, MaxX: x + 120, MaxY: y + 120}, terms, 0.05, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	return queries
+}
+
+func allocFilters(t testing.TB, ds *model.Dataset) []core.Filter {
+	t.Helper()
+	token := core.NewTokenFilter(ds)
+	grid, err := core.NewGridFilter(ds, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashExact, err := core.NewHybridHashFilter(ds, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashBuckets, err := core.NewHybridHashFilter(ds, 16, 509)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := core.NewHierarchicalFilter(ds, core.HierarchicalConfig{MaxLevel: 5, GridBudget: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []core.Filter{token, grid, hashExact, hashBuckets, hier}
+}
+
+// TestSearchZeroAllocs: after warmup (buffers grown to the workload's high
+// water mark), every signature filter must answer threshold queries with
+// zero heap allocations per Search.
+func TestSearchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	ds := allocDataset(t, 600)
+	queries := allocQueries(t, ds, 8)
+	for _, f := range allocFilters(t, ds) {
+		s := core.NewSearcher(ds, f)
+		// Warmup: size every reusable buffer for the whole query set.
+		for i := 0; i < 2; i++ {
+			for _, q := range queries {
+				s.Search(q)
+			}
+		}
+		for qi, q := range queries {
+			if avg := testing.AllocsPerRun(20, func() { s.Search(q) }); avg != 0 {
+				t.Errorf("%s query %d: %.1f allocs/op, want 0", f.Name(), qi, avg)
+			}
+		}
+	}
+}
+
+// TestStreamByIDZeroAllocs: the ID-ordered streaming path shares the same
+// scratch, so steady-state streaming with a pre-bound emit function also
+// stays allocation-free.
+func TestStreamByIDZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	ds := allocDataset(t, 400)
+	queries := allocQueries(t, ds, 4)
+	s := core.NewSearcher(ds, core.NewTokenFilter(ds))
+	sink := 0
+	opts := core.StreamOptions{ByID: true, Emit: func(core.Match) bool { sink++; return true }}
+	for i := 0; i < 2; i++ {
+		for _, q := range queries {
+			s.SearchStream(q, opts)
+		}
+	}
+	for qi, q := range queries {
+		if avg := testing.AllocsPerRun(20, func() { s.SearchStream(q, opts) }); avg != 0 {
+			t.Errorf("stream query %d: %.1f allocs/op, want 0", qi, avg)
+		}
+	}
+	_ = sink
+}
+
+// TestTopKBoundedAllocs: top-k compiles one threshold query per descent
+// round, so it cannot be allocation-free — but its allocations must stay a
+// small per-round constant, not scale with dataset size or candidate count.
+func TestTopKBoundedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	ds := allocDataset(t, 600)
+	s := core.NewSearcher(ds, core.NewTokenFilter(ds))
+	region := geo.Rect{MinX: 100, MinY: 100, MaxX: 400, MaxY: 400}
+	terms := []string{"tok1", "tok2", "tok3"}
+	opts := core.TopKOptions{K: 10, Alpha: 0.5, FloorR: 0.01, FloorT: 0.01}
+	for i := 0; i < 2; i++ {
+		if _, err := s.TopK(region, terms, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := s.TopK(region, terms, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// ~7 descent rounds × (query compile + ranking copy) lands well under
+	// this; the bound exists to catch per-candidate or per-posting regressions.
+	const maxAllocs = 200
+	if avg > maxAllocs {
+		t.Errorf("TopK: %.1f allocs/op, want <= %d", avg, maxAllocs)
+	}
+}

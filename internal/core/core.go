@@ -9,10 +9,20 @@
 // The completeness contract — candidates ⊇ answers for every legal query —
 // is what the property tests in this package enforce against a brute-force
 // oracle.
+//
+// The hot path is engineered around two ideas. First, scan-time SimT
+// accumulation: filters whose posting keys prove token membership (token and
+// exact-key hybrid filters) mark each proven (token, object) pair in the
+// CandidateSet's per-object accumulator as they scan, so verification
+// reconstructs the exact common token weight from those marks instead of
+// re-intersecting the token sets. Second, per-searcher scratch: a Searcher
+// owns every buffer a query needs (candidate set, accumulator, grid
+// signatures, match slice), so steady-state threshold searches do zero heap
+// allocations — see the AllocsPerRun regression tests.
 package core
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/sealdb/seal/internal/model"
@@ -49,13 +59,31 @@ type Filter interface {
 	SizeBytes() int64
 }
 
+// simTAccumulator is the capability a filter declares when its Collect
+// proves token membership through posting keys and records it with
+// CandidateSet.AddAcc: every bit it sets for (object, signature position i)
+// must certify SigTokens[i] ∈ o.T. The Searcher then verifies SimT through
+// model.Dataset.SimTAccum instead of a full sorted-merge intersection.
+type simTAccumulator interface {
+	accumulatesSimT() bool
+}
+
 // CandidateSet is a reusable, allocation-free set of object IDs using
-// epoch-based marking. It is not safe for concurrent use; create one per
-// goroutine.
+// epoch-based marking, with an optional per-object accumulator of proven
+// query-token memberships. It is not safe for concurrent use; create one
+// per goroutine.
 type CandidateSet struct {
 	mark  []uint32
 	epoch uint32
 	ids   []uint32
+	// accBits[obj] marks which of the query's signature positions (bit i ⇔
+	// Query.SigTokens[i]) were proven to be in obj's token set during the
+	// scan. Allocated on the first EnableAccum — at 8 bytes per object it
+	// would triple the set's footprint for filters that never accumulate.
+	// Valid only while accOn; lazily re-zeroed on an object's first
+	// insertion of the epoch, like mark.
+	accBits []uint64
+	accOn   bool
 	// onAdd, when non-nil, observes every distinct object at insertion.
 	// SearchStream hooks verification here so matches emit while the filter
 	// is still collecting.
@@ -67,17 +95,38 @@ func NewCandidateSet(n int) *CandidateSet {
 	return &CandidateSet{mark: make([]uint32, n), epoch: 0}
 }
 
-// Reset empties the set in O(1).
+// Reset empties the set in O(1) and disables accumulation (re-enable per
+// query with EnableAccum).
 func (c *CandidateSet) Reset() {
 	c.epoch++
 	c.ids = c.ids[:0]
+	c.accOn = false
 	if c.epoch == 0 { // epoch wrapped: clear marks once every 2^32 resets
 		for i := range c.mark {
 			c.mark[i] = 0
 		}
+		// Partial scores from 2^32 resets ago must not alias the fresh
+		// epoch's marks: clear them with the same sweep (nil when no query
+		// ever accumulated).
+		for i := range c.accBits {
+			c.accBits[i] = 0
+		}
 		c.epoch = 1
 	}
 }
+
+// EnableAccum turns on the membership accumulator for the current epoch.
+// Call it right after Reset, before the filter scans. The first call pays
+// the accumulator array's allocation; subsequent queries reuse it.
+func (c *CandidateSet) EnableAccum() {
+	if c.accBits == nil {
+		c.accBits = make([]uint64, len(c.mark))
+	}
+	c.accOn = true
+}
+
+// Accumulating reports whether AddAcc marks are being recorded this epoch.
+func (c *CandidateSet) Accumulating() bool { return c.accOn }
 
 // Add inserts obj, ignoring duplicates.
 func (c *CandidateSet) Add(obj uint32) {
@@ -85,10 +134,43 @@ func (c *CandidateSet) Add(obj uint32) {
 		return
 	}
 	c.mark[obj] = c.epoch
+	if c.accOn {
+		c.accBits[obj] = 0
+	}
 	c.ids = append(c.ids, obj)
 	if c.onAdd != nil {
 		c.onAdd(obj)
 	}
+}
+
+// AddAcc inserts obj and, when accumulation is enabled, records that the
+// query's signature token at position bit is contained in obj's token set.
+// Filters may call it with any bit ordering; duplicate marks are idempotent.
+func (c *CandidateSet) AddAcc(obj uint32, bit uint32) {
+	if c.mark[obj] == c.epoch {
+		if c.accOn {
+			c.accBits[obj] |= 1 << (bit & 63)
+		}
+		return
+	}
+	c.mark[obj] = c.epoch
+	if c.accOn {
+		c.accBits[obj] = 1 << (bit & 63)
+	}
+	c.ids = append(c.ids, obj)
+	if c.onAdd != nil {
+		c.onAdd(obj)
+	}
+}
+
+// AccBits returns obj's accumulated membership marks for the current epoch.
+// Only meaningful for objects inserted since the last Reset while
+// accumulation was enabled.
+func (c *CandidateSet) AccBits(obj uint32) uint64 {
+	if !c.accOn || c.mark[obj] != c.epoch {
+		return 0
+	}
+	return c.accBits[obj]
 }
 
 // Contains reports whether obj is in the set.
@@ -131,55 +213,124 @@ func (s *SearchStats) Merge(other SearchStats) {
 }
 
 // Searcher runs the two-step SealSig algorithm: filter, then verify.
-// A Searcher reuses internal buffers and is not safe for concurrent use;
-// create one per goroutine (the dataset and filters may be shared).
+// A Searcher owns every per-query buffer (candidate set, accumulator,
+// scratch, match slice) so that steady-state threshold searches allocate
+// nothing. It is not safe for concurrent use; create one per goroutine
+// (the dataset and filters may be shared).
 type Searcher struct {
 	ds     *model.Dataset
 	filter Filter
 	cs     *CandidateSet
+	scr    Scratch
+	// matches is the reused result buffer; see Search.
+	matches []Match
+	// stats is the per-call stats scratch: a stack-local SearchStats would
+	// escape through the Filter interface call and cost one heap allocation
+	// per query.
+	stats SearchStats
+	// accum caches whether the filter certifies token memberships.
+	accum bool
 }
 
 // NewSearcher pairs a dataset with a filter.
 func NewSearcher(ds *model.Dataset, f Filter) *Searcher {
-	return &Searcher{ds: ds, filter: f, cs: NewCandidateSet(ds.Len())}
+	s := &Searcher{ds: ds, filter: f, cs: NewCandidateSet(ds.Len())}
+	if a, ok := f.(simTAccumulator); ok {
+		s.accum = a.accumulatesSimT()
+	}
+	return s
 }
 
 // Filter returns the searcher's filter.
 func (s *Searcher) Filter() Filter { return s.filter }
 
+// beginQuery readies the candidate set for q: reset, then arm the SimT
+// accumulator when the filter certifies memberships and the query's token
+// count fits the 64-bit marks.
+func (s *Searcher) beginQuery(q *model.Query) {
+	s.cs.Reset()
+	if s.accum && len(q.Tokens) <= 64 {
+		s.cs.EnableAccum()
+	}
+}
+
+// collect runs the filter through the fastest interface it offers: the
+// scratch-aware path when available (allocation-free), the interruptible
+// path when a stop hook is wanted, and the plain Collect otherwise.
+func (s *Searcher) collect(q *model.Query, st *FilterStats, stop func() bool) {
+	if sf, ok := s.filter.(ScratchFilter); ok {
+		sf.CollectScratch(q, s.cs, st, stop, &s.scr)
+		return
+	}
+	if stop != nil {
+		if sf, ok := s.filter.(StoppableFilter); ok {
+			sf.CollectStop(q, s.cs, st, stop)
+			return
+		}
+	}
+	s.filter.Collect(q, s.cs, st)
+}
+
 // Search answers q: it collects candidates, verifies each against the exact
 // similarity thresholds, and returns matches sorted by object ID.
+//
+// The returned slice is owned by the Searcher and reused: it is valid only
+// until the next call on this Searcher. Callers that retain results across
+// calls (or hand the searcher back to a pool) must copy them first.
 func (s *Searcher) Search(q *model.Query) ([]Match, SearchStats) {
-	var st SearchStats
+	s.stats = SearchStats{}
+	st := &s.stats
 	start := time.Now()
-	s.cs.Reset()
-	s.filter.Collect(q, s.cs, &st.FilterStats)
+	s.beginQuery(q)
+	s.collect(q, &st.FilterStats, nil)
 	st.Candidates = s.cs.Len()
 	st.FilterTime = time.Since(start)
 
 	start = time.Now()
-	matches := make([]Match, 0, 16)
+	if cap(s.matches) < s.cs.Len() {
+		s.matches = make([]Match, 0, s.cs.Len())
+	}
+	matches := s.matches[:0]
 	for _, obj := range s.cs.IDs() {
 		if m, ok := s.verify(q, model.ObjectID(obj)); ok {
 			matches = append(matches, m)
 		}
 	}
-	sort.Slice(matches, func(i, j int) bool { return matches[i].ID < matches[j].ID })
+	slices.SortFunc(matches, func(a, b Match) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		default:
+			return 0
+		}
+	})
+	s.matches = matches
 	st.VerifyTime = time.Since(start)
 	st.Results = len(matches)
-	return matches, st
+	return matches, *st
 }
 
 // verify is the exact verification step shared by every execution path:
 // it computes both similarities and reports whether id passes q's
 // thresholds. Streamed and materialized searches must agree on this
 // predicate exactly — the Stream==Search property tests depend on it.
+//
+// When the filter accumulated token memberships, SimT is reconstructed from
+// the marks (SimTAccum) instead of re-intersecting the token sets; the two
+// paths are bit-identical by construction, which the differential tests pin.
 func (s *Searcher) verify(q *model.Query, id model.ObjectID) (Match, bool) {
 	simR := s.ds.SimR(q, id)
 	if simR < q.TauR {
 		return Match{}, false
 	}
-	simT := s.ds.SimT(q, id)
+	var simT float64
+	if s.cs.Accumulating() {
+		simT = s.ds.SimTAccum(q, id, s.cs.AccBits(uint32(id)))
+	} else {
+		simT = s.ds.SimT(q, id)
+	}
 	if simT < q.TauT {
 		return Match{}, false
 	}

@@ -68,30 +68,40 @@ func (f *GridFilter) Granularity() int { return f.grid.P }
 // Σ_{g∈SR(q)∩SR(o)} min(w(g|q), w(g|o)) ≥ τR·|q.R|, so prefix filtering on
 // the grid signatures is complete.
 func (f *GridFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterStats) {
-	f.CollectStop(q, cs, st, nil)
+	var scr Scratch
+	f.CollectScratch(q, cs, st, nil, &scr)
 }
 
 // CollectStop implements StoppableFilter: stop is polled before each
 // inverted-list probe.
 func (f *GridFilter) CollectStop(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool) {
+	var scr Scratch
+	f.CollectScratch(q, cs, st, stop, &scr)
+}
+
+// CollectScratch implements ScratchFilter: the query's grid signature and
+// prefix weights live in the caller's scratch, so the scan is allocation
+// free. Grid cells prove spatial overlap only — never token membership — so
+// this filter does not accumulate SimT and verification re-intersects.
+func (f *GridFilter) CollectScratch(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool, scr *Scratch) {
 	cR, _ := Thresholds(q)
 	if cR <= 0 {
 		return
 	}
-	sig := f.grid.Signature(q.Region, nil)
-	f.counter.SortSignature(sig)
-	weights := make([]float64, len(sig))
-	for i, cw := range sig {
-		weights[i] = cw.W
+	scr.gsig = f.grid.Signature(q.Region, scr.gsig[:0])
+	f.counter.SortSignature(scr.gsig)
+	scr.gW = scr.gW[:0]
+	for _, cw := range scr.gsig {
+		scr.gW = append(scr.gW, cw.W)
 	}
-	p := invidx.PrefixLen(weights, cR)
+	p := invidx.PrefixLen(scr.gW, cR)
 	slack := invidx.Slack(cR)
-	for _, cw := range sig[:p] {
+	for _, cw := range scr.gsig[:p] {
 		if stop != nil && stop() {
 			return
 		}
 		l := f.idx.List(uint64(cw.Cell))
-		if l == nil {
+		if l.Len() == 0 {
 			continue
 		}
 		st.ListsProbed++
@@ -148,11 +158,11 @@ func (f *PlainGridFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterSt
 	f.acc.reset()
 	for _, cw := range sig {
 		l := f.idx.List(uint64(cw.Cell))
-		if l == nil {
+		n := l.Len()
+		if n == 0 {
 			continue
 		}
 		st.ListsProbed++
-		n := l.Len()
 		st.PostingsScanned += n
 		for i := 0; i < n; i++ {
 			// Bound holds w(g|o); the signature similarity uses the

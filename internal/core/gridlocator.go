@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"github.com/sealdb/seal/internal/geo"
 	"github.com/sealdb/seal/internal/gridtree"
@@ -48,7 +48,16 @@ func newGridLocator(tree *gridtree.Tree, grids []hss.Grid) *gridLocator {
 		if !ok {
 			continue
 		}
-		sort.Slice(idxs, func(a, b int) bool { return grids[idxs[a]].Node < grids[idxs[b]].Node })
+		slices.SortFunc(idxs, func(a, b int32) int {
+			switch {
+			case grids[a].Node < grids[b].Node:
+				return -1
+			case grids[a].Node > grids[b].Node:
+				return 1
+			default:
+				return 0
+			}
+		})
 		nodes := make([]gridtree.NodeID, len(idxs))
 		for j, i := range idxs {
 			nodes[j] = grids[i].Node
@@ -85,7 +94,18 @@ func (loc *gridLocator) project(r geo.Rect, out []gridHit) []gridHit {
 		for iy := iy0; iy < iy1; iy++ {
 			for ix := ix0; ix < ix1; ix++ {
 				n := gridtree.MakeNodeID(level, ix, iy)
-				j := sort.Search(len(nodes), func(k int) bool { return nodes[k] >= n })
+				// Manual binary search: sort.Search's closure would heap-escape
+				// on this allocation-free path.
+				lo, hi := 0, len(nodes)
+				for lo < hi {
+					mid := int(uint(lo+hi) >> 1)
+					if nodes[mid] < n {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				j := lo
 				if j == len(nodes) || nodes[j] != n {
 					continue
 				}
@@ -97,7 +117,16 @@ func (loc *gridLocator) project(r geo.Rect, out []gridHit) []gridHit {
 		}
 	}
 	hits := out[start:]
-	sort.Slice(hits, func(a, b int) bool { return hits[a].idx < hits[b].idx })
+	slices.SortFunc(hits, func(a, b gridHit) int {
+		switch {
+		case a.idx < b.idx:
+			return -1
+		case a.idx > b.idx:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return out
 }
 

@@ -120,46 +120,69 @@ func (f *HybridHashFilter) Granularity() int { return f.grid.P }
 // cell g* inside both grid prefixes, so probing bucket h(t*, g*) with both
 // bounds retrieves o.
 func (f *HybridHashFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterStats) {
-	f.CollectStop(q, cs, st, nil)
+	var scr Scratch
+	f.CollectScratch(q, cs, st, nil, &scr)
 }
 
 // CollectStop implements StoppableFilter: stop is polled before each bucket
 // probe.
 func (f *HybridHashFilter) CollectStop(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool) {
+	var scr Scratch
+	f.CollectScratch(q, cs, st, stop, &scr)
+}
+
+// accumulatesSimT: with exact (token, cell) keys a posting in list (t, g)
+// certifies t ∈ o.T, so the scan can mark memberships. With hashing enabled
+// a bucket mixes colliding (token, cell) pairs and proves nothing, so the
+// hashed variant must not accumulate.
+func (f *HybridHashFilter) accumulatesSimT() bool { return f.buckets == 0 }
+
+// CollectScratch implements ScratchFilter: the textual prefix comes
+// precompiled on the Query, the spatial one lives in the caller's scratch.
+func (f *HybridHashFilter) CollectScratch(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool, scr *Scratch) {
 	cR, cT := Thresholds(q)
 	if cR <= 0 || cT <= 0 {
 		return
 	}
 	// Textual prefix.
-	tsig := make([]text.TokenID, len(q.Tokens))
-	copy(tsig, q.Tokens)
-	f.ds.Vocab().SortBySignatureOrder(tsig)
-	tW := make([]float64, len(tsig))
-	for i, t := range tsig {
-		tW[i] = f.ds.TokenWeight(t)
-	}
-	pT := invidx.PrefixLen(tW, cT)
+	tsig := q.SigTokens
+	pT := invidx.PrefixLen(q.SigWeights, cT)
 	// Spatial prefix.
-	gsig := f.grid.Signature(q.Region, nil)
-	f.counter.SortSignature(gsig)
-	gW := make([]float64, len(gsig))
-	for i, cw := range gsig {
-		gW[i] = cw.W
+	scr.gsig = f.grid.Signature(q.Region, scr.gsig[:0])
+	f.counter.SortSignature(scr.gsig)
+	scr.gW = scr.gW[:0]
+	for _, cw := range scr.gsig {
+		scr.gW = append(scr.gW, cw.W)
 	}
-	pR := invidx.PrefixLen(gW, cR)
+	pR := invidx.PrefixLen(scr.gW, cR)
 
+	accum := f.buckets == 0 && cs.Accumulating()
 	slackR, slackT := invidx.Slack(cR), invidx.Slack(cT)
-	for _, t := range tsig[:pT] {
-		for _, cw := range gsig[:pR] {
+	for i, t := range tsig[:pT] {
+		for _, cw := range scr.gsig[:pR] {
 			if stop != nil && stop() {
 				return
 			}
 			l := f.idx.List(f.key(t, cw.Cell))
-			if l == nil {
+			if l.Len() == 0 {
 				continue
 			}
 			st.ListsProbed++
-			st.PostingsScanned += l.Scan(slackR, slackT, cs.Add)
+			n := l.CutoffR(slackR)
+			st.PostingsScanned += n
+			if accum {
+				for j := 0; j < n; j++ {
+					if l.TBound(j) >= slackT {
+						cs.AddAcc(l.Obj(j), uint32(i))
+					}
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					if l.TBound(j) >= slackT {
+						cs.Add(l.Obj(j))
+					}
+				}
+			}
 		}
 	}
 }

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"github.com/sealdb/seal/internal/geo"
@@ -219,8 +219,7 @@ const (
 
 // sortHierGrids applies the global order of hierarchical grids.
 func sortHierGrids(grids []hss.Grid, ord HierOrder) {
-	sort.Slice(grids, func(i, j int) bool {
-		a, b := grids[i], grids[j]
+	less := func(a, b hss.Grid) bool {
 		switch ord {
 		case HierOrderCount:
 			if a.Count != b.Count {
@@ -238,6 +237,16 @@ func sortHierGrids(grids []hss.Grid, ord HierOrder) {
 			}
 		}
 		return a.Node < b.Node
+	}
+	slices.SortFunc(grids, func(a, b hss.Grid) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		default:
+			return 0
+		}
 	})
 }
 
@@ -272,49 +281,60 @@ func (f *HierarchicalFilter) Budget() int { return f.budget }
 // prefix is selected there (the grids are already in the global order), and
 // the (token, grid) lists are probed with both bounds.
 func (f *HierarchicalFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterStats) {
-	f.CollectStop(q, cs, st, nil)
+	var scr Scratch
+	f.CollectScratch(q, cs, st, nil, &scr)
 }
 
 // CollectStop implements StoppableFilter: stop is polled before each
 // (token, grid) list probe.
 func (f *HierarchicalFilter) CollectStop(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool) {
+	var scr Scratch
+	f.CollectScratch(q, cs, st, stop, &scr)
+}
+
+// accumulatesSimT: hybrid elements are exact (token, grid) pairs, so every
+// posting in a probed list certifies its token's membership.
+func (f *HierarchicalFilter) accumulatesSimT() bool { return true }
+
+// CollectScratch implements ScratchFilter: grid projections and prefix
+// weights live in the caller's scratch; the textual prefix comes precompiled
+// on the Query.
+func (f *HierarchicalFilter) CollectScratch(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool, scr *Scratch) {
 	cR, cT := Thresholds(q)
 	if cR <= 0 || cT <= 0 {
 		return
 	}
-	tsig := make([]text.TokenID, len(q.Tokens))
-	copy(tsig, q.Tokens)
-	f.ds.Vocab().SortBySignatureOrder(tsig)
-	tW := make([]float64, len(tsig))
-	for i, t := range tsig {
-		tW[i] = f.ds.TokenWeight(t)
-	}
-	pT := invidx.PrefixLen(tW, cT)
+	tsig := q.SigTokens
+	pT := invidx.PrefixLen(q.SigWeights, cT)
 	slackR, slackT := invidx.Slack(cR), invidx.Slack(cT)
 
-	var gW []float64
-	var hits []gridHit
-	for _, t := range tsig[:pT] {
+	for i, t := range tsig[:pT] {
 		loc := f.tokenLoc[t]
 		if loc == nil {
 			continue
 		}
-		hits = loc.project(q.Region, hits[:0])
-		gW = gW[:0]
-		for _, h := range hits {
-			gW = append(gW, h.w)
+		scr.hits = loc.project(q.Region, scr.hits[:0])
+		scr.gW = scr.gW[:0]
+		for _, h := range scr.hits {
+			scr.gW = append(scr.gW, h.w)
 		}
-		pR := invidx.PrefixLen(gW, cR)
-		for _, h := range hits[:pR] {
+		pR := invidx.PrefixLen(scr.gW, cR)
+		for _, h := range scr.hits[:pR] {
 			if stop != nil && stop() {
 				return
 			}
 			l := f.idx.List(hierKey(t, h.node))
-			if l == nil {
+			if l.Len() == 0 {
 				continue
 			}
 			st.ListsProbed++
-			st.PostingsScanned += l.Scan(slackR, slackT, cs.Add)
+			n := l.CutoffR(slackR)
+			st.PostingsScanned += n
+			for j := 0; j < n; j++ {
+				if l.TBound(j) >= slackT {
+					cs.AddAcc(l.Obj(j), uint32(i))
+				}
+			}
 		}
 	}
 }

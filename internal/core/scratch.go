@@ -1,0 +1,31 @@
+package core
+
+import (
+	"github.com/sealdb/seal/internal/gridsig"
+	"github.com/sealdb/seal/internal/model"
+)
+
+// Scratch is the per-searcher buffer pool the filters collect through. Each
+// Searcher owns one, so every slice here is reused query after query and the
+// steady-state filter step allocates nothing. Filters must treat the fields
+// as free backing storage: truncate (buf[:0]), append, and leave the grown
+// slice behind for the next query.
+type Scratch struct {
+	// gsig holds a query's grid signature (grid and hash-hybrid filters).
+	gsig []gridsig.CellWeight
+	// gW holds spatial element weights for prefix selection.
+	gW []float64
+	// hits holds hierarchical grid projections (the Seal filter).
+	hits []gridHit
+	// ids holds the sorted candidate order for ID-ordered streaming.
+	ids []uint32
+}
+
+// ScratchFilter is the allocation-free collection interface. CollectScratch
+// behaves exactly like CollectStop (stop may be nil) but draws every
+// temporary buffer from scr instead of allocating. All of core's signature
+// filters implement it; the Searcher prefers it whenever available.
+type ScratchFilter interface {
+	Filter
+	CollectScratch(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool, scr *Scratch)
+}

@@ -9,7 +9,7 @@ package core
 // work actually done, it does not merely truncate the answer.
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/sealdb/seal/internal/model"
@@ -25,18 +25,6 @@ import (
 type StoppableFilter interface {
 	Filter
 	CollectStop(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool)
-}
-
-// collect runs f's interruptible collection when it offers one and a stop
-// hook is wanted, and the plain Collect otherwise.
-func collect(f Filter, q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool) {
-	if stop != nil {
-		if sf, ok := f.(StoppableFilter); ok {
-			sf.CollectStop(q, cs, st, stop)
-			return
-		}
-	}
-	f.Collect(q, cs, st)
 }
 
 // StreamOptions parameterizes Searcher.SearchStream.
@@ -72,7 +60,7 @@ func (s *Searcher) SearchStream(q *model.Query, opts StreamOptions) SearchStats 
 	}
 	var st SearchStats
 	start := time.Now()
-	s.cs.Reset()
+	s.beginQuery(q)
 	stopped := false
 	stop := func() bool {
 		return stopped || (opts.Stop != nil && opts.Stop())
@@ -97,7 +85,7 @@ func (s *Searcher) SearchStream(q *model.Query, opts StreamOptions) SearchStats 
 	// The hook must not outlive this call: the searcher returns to its pool
 	// and the next Search must not verify through a dead stream.
 	defer func() { s.cs.onAdd = nil }()
-	collect(s.filter, q, s.cs, &st.FilterStats, stop)
+	s.collect(q, &st.FilterStats, stop)
 	st.Candidates = s.cs.Len()
 	st.FilterTime = time.Since(start)
 	return st
@@ -109,16 +97,18 @@ func (s *Searcher) SearchStream(q *model.Query, opts StreamOptions) SearchStats 
 // further matches — so a consumer wanting the L smallest-ID matches caps the
 // verification work at L successes.
 func (s *Searcher) streamByID(q *model.Query, opts StreamOptions) SearchStats {
-	var st SearchStats
+	s.stats = SearchStats{}
+	st := &s.stats
 	start := time.Now()
-	s.cs.Reset()
-	collect(s.filter, q, s.cs, &st.FilterStats, opts.Stop)
+	s.beginQuery(q)
+	s.collect(q, &st.FilterStats, opts.Stop)
 	st.Candidates = s.cs.Len()
 	st.FilterTime = time.Since(start)
 
 	start = time.Now()
-	ids := append([]uint32(nil), s.cs.IDs()...)
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := append(s.scr.ids[:0], s.cs.IDs()...)
+	s.scr.ids = ids
+	slices.Sort(ids)
 	for _, obj := range ids {
 		if opts.Stop != nil && opts.Stop() {
 			break
@@ -133,5 +123,5 @@ func (s *Searcher) streamByID(q *model.Query, opts StreamOptions) SearchStats {
 		st.Results++
 	}
 	st.VerifyTime = time.Since(start)
-	return st
+	return *st
 }

@@ -56,38 +56,43 @@ func (f *TokenFilter) Postings() int { return f.idx.Postings() }
 // cT = τT · Σ_{t∈q.T} w(t); prefix filtering retrieves exactly the objects
 // that share a prefix element with the query's prefix.
 func (f *TokenFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterStats) {
-	f.CollectStop(q, cs, st, nil)
+	f.CollectScratch(q, cs, st, nil, nil)
 }
 
 // CollectStop implements StoppableFilter: stop is polled before each
 // inverted-list probe.
 func (f *TokenFilter) CollectStop(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool) {
+	f.CollectScratch(q, cs, st, stop, nil)
+}
+
+// accumulatesSimT: every posting in list t certifies t ∈ o.T, so the scan
+// marks exact token memberships for verification.
+func (f *TokenFilter) accumulatesSimT() bool { return true }
+
+// CollectScratch implements ScratchFilter. The query's signature-ordered
+// tokens and weights are precompiled on the Query itself, so this filter
+// needs no scratch at all (scr may be nil) and allocates nothing.
+func (f *TokenFilter) CollectScratch(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool, _ *Scratch) {
 	_, cT := Thresholds(q)
 	if cT <= 0 {
 		return
 	}
-	sig := make([]text.TokenID, len(q.Tokens))
-	copy(sig, q.Tokens)
-	f.ds.Vocab().SortBySignatureOrder(sig)
-	weights := make([]float64, len(sig))
-	for i, t := range sig {
-		weights[i] = f.ds.TokenWeight(t)
-	}
-	p := invidx.PrefixLen(weights, cT)
+	sig := q.SigTokens
+	p := invidx.PrefixLen(q.SigWeights, cT)
 	slack := invidx.Slack(cT)
-	for _, t := range sig[:p] {
+	for i, t := range sig[:p] {
 		if stop != nil && stop() {
 			return
 		}
 		l := f.idx.List(uint64(t))
-		if l == nil {
+		if l.Len() == 0 {
 			continue
 		}
 		st.ListsProbed++
 		n := l.Cutoff(slack)
 		st.PostingsScanned += n
 		for _, obj := range l.Objs(n) {
-			cs.Add(obj)
+			cs.AddAcc(obj, uint32(i))
 		}
 	}
 }
@@ -130,11 +135,11 @@ func (f *PlainTokenFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterS
 	f.acc.reset()
 	for _, t := range q.Tokens {
 		l := f.idx.List(uint64(t))
-		if l == nil {
+		n := l.Len()
+		if n == 0 {
 			continue
 		}
 		st.ListsProbed++
-		n := l.Len()
 		st.PostingsScanned += n
 		w := f.ds.TokenWeight(t)
 		for i := 0; i < n; i++ {

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/sealdb/seal/internal/geo"
 	"github.com/sealdb/seal/internal/model"
@@ -169,11 +169,19 @@ func rankMatches(matches []Match, opts TopKOptions, minScore float64) ([]ScoredM
 		sc := opts.Alpha*m.SimR + (1-opts.Alpha)*m.SimT
 		out = append(out, ScoredMatch{ID: m.ID, SimR: m.SimR, SimT: m.SimT, Score: sc})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	slices.SortFunc(out, func(a, b ScoredMatch) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		default:
+			return 0
 		}
-		return out[i].ID < out[j].ID
 	})
 	complete := 0
 	for complete < len(out) && out[complete].Score >= minScore-1e-12 {

@@ -45,23 +45,25 @@ const (
 	dualEntrySize   = 4 + 8 + 8
 )
 
-// Save writes a single-bound index to path.
+// Save writes a single-bound index to path. Lists are written in ascending
+// key order (the flat index's Range order), so the file is deterministic for
+// a given index.
 func Save(path string, idx *invidx.Index) error {
 	return save(path, false, func(w *countingWriter) error {
 		var err error
-		idx.Range(func(key uint64, l *invidx.List) bool {
-			err = writeList(w, key, l, nil)
+		idx.Range(func(key uint64, l invidx.List) bool {
+			err = writeList(w, key, l)
 			return err == nil
 		})
 		return err
 	}, idx.Lists())
 }
 
-// SaveDual writes a dual-bound index to path.
+// SaveDual writes a dual-bound index to path, in ascending key order.
 func SaveDual(path string, idx *invidx.DualIndex) error {
 	return save(path, true, func(w *countingWriter) error {
 		var err error
-		idx.Range(func(key uint64, l *invidx.DualList) bool {
+		idx.Range(func(key uint64, l invidx.DualList) bool {
 			err = writeDualList(w, key, l)
 			return err == nil
 		})
@@ -114,7 +116,7 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-func writeList(w *countingWriter, key uint64, l *invidx.List, _ []float64) error {
+func writeList(w *countingWriter, key uint64, l invidx.List) error {
 	n := l.Len()
 	payload := make([]byte, n*singleEntrySize)
 	for i := 0; i < n; i++ {
@@ -124,7 +126,7 @@ func writeList(w *countingWriter, key uint64, l *invidx.List, _ []float64) error
 	return writeRecord(w, key, uint32(n), payload)
 }
 
-func writeDualList(w *countingWriter, key uint64, l *invidx.DualList) error {
+func writeDualList(w *countingWriter, key uint64, l invidx.DualList) error {
 	n := l.Len()
 	payload := make([]byte, n*dualEntrySize)
 	for i := 0; i < n; i++ {

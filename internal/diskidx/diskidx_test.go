@@ -41,7 +41,7 @@ func TestSingleRoundTrip(t *testing.T) {
 		t.Fatalf("lists = %d, want %d", r.Lists(), idx.Lists())
 	}
 	// Every key and threshold must agree with the in-memory cutoff.
-	idx.Range(func(key uint64, l *invidx.List) bool {
+	idx.Range(func(key uint64, l invidx.List) bool {
 		for _, c := range []float64{0, 5, 37.2, 99.9, 1000} {
 			want := make([]uint32, 0)
 			n := l.Cutoff(c)
@@ -95,7 +95,7 @@ func TestDualRoundTrip(t *testing.T) {
 	if !r.Dual() {
 		t.Fatal("dual index not flagged")
 	}
-	idx.Range(func(key uint64, l *invidx.DualList) bool {
+	idx.Range(func(key uint64, l invidx.DualList) bool {
 		for _, cr := range []float64{0, 100, 350} {
 			for _, ct := range []float64{0, 2.5, 4.9} {
 				var want []uint32
@@ -145,7 +145,7 @@ func TestCorruptionDetected(t *testing.T) {
 	}
 	defer r.Close()
 	sawCorrupt := false
-	idx.Range(func(key uint64, l *invidx.List) bool {
+	idx.Range(func(key uint64, l invidx.List) bool {
 		if _, err := r.Probe(key, 0); errors.Is(err, ErrCorrupt) {
 			sawCorrupt = true
 			return false

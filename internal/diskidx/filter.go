@@ -6,7 +6,6 @@ import (
 	"github.com/sealdb/seal/internal/core"
 	"github.com/sealdb/seal/internal/invidx"
 	"github.com/sealdb/seal/internal/model"
-	"github.com/sealdb/seal/internal/text"
 )
 
 // TokenFilter is the disk-resident variant of core.TokenFilter: the paper's
@@ -66,14 +65,9 @@ func (f *TokenFilter) Collect(q *model.Query, cs *core.CandidateSet, st *core.Fi
 	if cT <= 0 {
 		return
 	}
-	sig := make([]text.TokenID, len(q.Tokens))
-	copy(sig, q.Tokens)
-	f.ds.Vocab().SortBySignatureOrder(sig)
-	weights := make([]float64, len(sig))
-	for i, t := range sig {
-		weights[i] = f.ds.TokenWeight(t)
-	}
-	p := invidx.PrefixLen(weights, cT)
+	// The signature-ordered tokens and weights are precompiled on the Query.
+	sig := q.SigTokens
+	p := invidx.PrefixLen(q.SigWeights, cT)
 	slack := invidx.Slack(cT)
 	for _, t := range sig[:p] {
 		objs, err := f.r.Probe(uint64(t), slack)

@@ -1,7 +1,7 @@
 package engine
 
 import (
-	"sort"
+	"slices"
 
 	"github.com/sealdb/seal/internal/model"
 )
@@ -34,11 +34,19 @@ func partition(root *model.Dataset, n int) [][]model.ObjectID {
 		cx, cy := (r.MinX+r.MaxX)/2, (r.MinY+r.MaxY)/2
 		order[i] = keyed{code: mortonCode(normalize(cx, space.MinX, space.MaxX), normalize(cy, space.MinY, space.MaxY)), id: id}
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if order[a].code != order[b].code {
-			return order[a].code < order[b].code
+	slices.SortFunc(order, func(a, b keyed) int {
+		switch {
+		case a.code < b.code:
+			return -1
+		case a.code > b.code:
+			return 1
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		default:
+			return 0
 		}
-		return order[a].id < order[b].id
 	})
 
 	parts := make([][]model.ObjectID, n)
@@ -58,7 +66,7 @@ func partition(root *model.Dataset, n int) [][]model.ObjectID {
 		}
 	}
 	for _, ids := range parts {
-		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		slices.Sort(ids)
 	}
 	return parts
 }

@@ -3,7 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
-	"sort"
+	"slices"
 	"sync"
 
 	"github.com/sealdb/seal/internal/core"
@@ -80,8 +80,11 @@ func (e *Engine) searchSingle(q *model.Query) ([]core.Match, core.SearchStats) {
 	s := e.shards[0]
 	sr := s.pool.Get()
 	matches, st := sr.Search(q)
+	// The searcher owns its match buffer; copy before it returns to the pool
+	// or the next borrower would overwrite our caller's results.
+	out := append(make([]core.Match, 0, len(matches)), matches...)
 	s.pool.Put(sr)
-	return matches, st
+	return out, st
 }
 
 // searchScatter fans q out across all shards concurrently and gathers the
@@ -101,11 +104,15 @@ func (e *Engine) searchScatter(ctx context.Context, q *model.Query) ([]core.Matc
 				return
 			}
 			sr := s.pool.Get()
-			matches, st := sr.Search(q)
-			s.pool.Put(sr)
-			for j := range matches {
-				matches[j].ID = s.global(matches[j].ID)
+			found, st := sr.Search(q)
+			// Copy out of the searcher's reused buffer (remapping to global
+			// IDs on the way) before returning it to the pool.
+			matches := make([]core.Match, len(found))
+			for j, m := range found {
+				m.ID = s.global(m.ID)
+				matches[j] = m
 			}
+			s.pool.Put(sr)
 			results[i] = shardResult{matches: matches, st: st}
 		}(i, s)
 	}
@@ -138,8 +145,20 @@ func (e *Engine) searchScatter(ctx context.Context, q *model.Query) ([]core.Matc
 	}
 	// Shard partitions are ID-sorted and disjoint, so this is a k-way merge
 	// of sorted runs; a plain sort keeps it simple.
-	sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
+	slices.SortFunc(merged, matchByID)
 	return merged, st, nil
+}
+
+// matchByID orders matches by ascending global object ID.
+func matchByID(a, b core.Match) int {
+	switch {
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // ForEach is the engine's scatter helper: it runs fn(ctx, i) for every

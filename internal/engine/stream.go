@@ -11,7 +11,7 @@ package engine
 
 import (
 	"context"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -208,7 +208,7 @@ func (e *Engine) SearchLimited(ctx context.Context, q *model.Query, limit, paral
 	// Shard partitions are ID-sorted and disjoint, and each shard emitted in
 	// ascending order, so this is a k-way merge of sorted runs; a plain sort
 	// keeps it simple.
-	sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
+	slices.SortFunc(merged, matchByID)
 	if limit > 0 && len(merged) > limit {
 		merged = merged[:limit]
 	}

@@ -3,7 +3,7 @@ package engine
 import (
 	"container/heap"
 	"context"
-	"sort"
+	"slices"
 	"sync"
 
 	"github.com/sealdb/seal/internal/core"
@@ -143,8 +143,8 @@ func (t *kthTracker) kth() float64 {
 	for _, s := range t.scores {
 		all = append(all, s...)
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(all)))
-	return all[t.k-1]
+	slices.Sort(all)
+	return all[len(all)-t.k]
 }
 
 // cursor walks one shard's result list during the heap merge.

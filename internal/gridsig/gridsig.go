@@ -7,7 +7,7 @@ package gridsig
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/sealdb/seal/internal/geo"
 )
@@ -183,11 +183,19 @@ func (c *Counter) Count(id uint32) uint32 {
 // time) and query signatures (at query time) use this order, which is what
 // makes prefix filtering sound.
 func (c *Counter) SortSignature(sig []CellWeight) {
-	sort.Slice(sig, func(i, j int) bool {
-		ci, cj := c.Count(sig[i].Cell), c.Count(sig[j].Cell)
-		if ci != cj {
-			return ci < cj
+	slices.SortFunc(sig, func(a, b CellWeight) int {
+		ca, cb := c.Count(a.Cell), c.Count(b.Cell)
+		switch {
+		case ca < cb:
+			return -1
+		case ca > cb:
+			return 1
+		case a.Cell < b.Cell:
+			return -1
+		case a.Cell > b.Cell:
+			return 1
+		default:
+			return 0
 		}
-		return sig[i].Cell < sig[j].Cell
 	})
 }

@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-func benchList(n int) *List {
+func benchList(n int) List {
 	rng := rand.New(rand.NewSource(1))
 	var b Builder
 	for i := 0; i < n; i++ {
@@ -47,4 +47,53 @@ func BenchmarkDualScan(b *testing.B) {
 		l.Scan(500, 0.5, func(obj uint32) { sink++ })
 	}
 	_ = sink
+}
+
+// layoutBuilders fills two identical builders with a realistic shape: many
+// short lists (Zipf-ish key skew), the regime where per-list overhead and
+// pointer chasing dominate the map layout.
+func layoutBuilders(nKeys, nPostings int) (flat, mp Builder) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < nPostings; i++ {
+		u := rng.Float64()
+		key := uint64(u * u * float64(nKeys))
+		obj := uint32(rng.Intn(1 << 20))
+		bound := rng.Float64() * 100
+		flat.Add(key, obj, bound)
+		mp.Add(key, obj, bound)
+	}
+	return flat, mp
+}
+
+// BenchmarkLayoutProbe compares a probe (lookup + cutoff + head scan) on the
+// flat arena layout against the legacy map layout — the old-vs-new number
+// the scoring experiment reports.
+func BenchmarkLayoutProbe(b *testing.B) {
+	const nKeys, nPostings = 1 << 14, 1 << 18
+	fb, mb := layoutBuilders(nKeys, nPostings)
+	flat := fb.Build()
+	mp := mb.BuildMap()
+
+	b.Run("flat", func(b *testing.B) {
+		var sink uint32
+		for i := 0; i < b.N; i++ {
+			l := flat.List(uint64(i % nKeys))
+			n := l.Cutoff(50)
+			for _, o := range l.Objs(n) {
+				sink += o
+			}
+		}
+		_ = sink
+	})
+	b.Run("map", func(b *testing.B) {
+		var sink uint32
+		for i := 0; i < b.N; i++ {
+			l := mp.List(uint64(i % nKeys))
+			n := l.Cutoff(50)
+			for _, o := range l.Objs(n) {
+				sink += o
+			}
+		}
+		_ = sink
+	})
 }

@@ -37,11 +37,11 @@ func TestListCutoff(t *testing.T) {
 			t.Errorf("Cutoff(%v) = %d, want %d", c.c, got, c.want)
 		}
 	}
-	if idx.List(999) != nil {
-		t.Errorf("absent key should return nil list")
+	if idx.List(999).Len() != 0 {
+		t.Errorf("absent key should return an empty list")
 	}
-	if idx.List(999).Cutoff(1) != 0 || idx.List(999).Len() != 0 {
-		t.Errorf("nil list should behave empty")
+	if idx.List(999).Cutoff(1) != 0 {
+		t.Errorf("empty list should cut off at 0")
 	}
 	if idx.Postings() != 4 || idx.Lists() != 2 {
 		t.Errorf("postings=%d lists=%d, want 4 and 2", idx.Postings(), idx.Lists())
@@ -169,8 +169,11 @@ func TestDualListScan(t *testing.T) {
 	if n := l.Scan(10, 0.1, func(obj uint32) { none = append(none, obj) }); n != 0 || len(none) != 0 {
 		t.Fatalf("high cR should scan nothing, got %v (examined %d)", none, n)
 	}
-	if (*DualList)(nil).Scan(0, 0, func(uint32) {}) != 0 {
-		t.Fatalf("nil dual list should scan nothing")
+	if (DualList{}).Scan(0, 0, func(uint32) {}) != 0 {
+		t.Fatalf("empty dual list should scan nothing")
+	}
+	if idx.List(424242).Len() != 0 {
+		t.Fatalf("absent dual key should return an empty list")
 	}
 }
 
@@ -206,13 +209,107 @@ func TestDualIndexSizeAndRange(t *testing.T) {
 		t.Errorf("SizeBytes should be positive")
 	}
 	seen := 0
-	idx.Range(func(key uint64, l *DualList) bool {
+	var keys []uint64
+	idx.Range(func(key uint64, l DualList) bool {
 		seen += l.Len()
+		keys = append(keys, key)
 		return true
 	})
 	if seen != 10 {
 		t.Fatalf("Range visited %d postings, want 10", seen)
 	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("Range keys not ascending: %v", keys)
+		}
+	}
+}
+
+// hashDirBytes mirrors the keyTable sizing rule: a power-of-two slot array
+// at load factor ≤ 0.5, 4 bytes per slot.
+func hashDirBytes(lists int) int64 {
+	size := int64(4)
+	for size < int64(lists)*2 {
+		size <<= 1
+	}
+	return size * 4
+}
+
+// TestFlatSizeBytesAccounting pins the flat layout's size model: every
+// posting costs exactly obj+bound (12B single, 20B dual), every list exactly
+// key+offset (12B), plus the O(1)-lookup hash directory — no per-list heap
+// objects left to estimate.
+func TestFlatSizeBytesAccounting(t *testing.T) {
+	var b Builder
+	for i := uint32(0); i < 100; i++ {
+		b.Add(uint64(i%7), i, float64(i))
+	}
+	idx := b.Build()
+	if idx.Postings() != 100 || idx.Lists() != 7 {
+		t.Fatalf("postings=%d lists=%d, want 100 and 7", idx.Postings(), idx.Lists())
+	}
+	want := int64(100*(4+8)+7*(8+4)) + hashDirBytes(7)
+	if got := idx.SizeBytes(); got != want {
+		t.Fatalf("SizeBytes = %d, want %d", got, want)
+	}
+
+	var db DualBuilder
+	for i := uint32(0); i < 60; i++ {
+		db.Add(uint64(i%5), i, float64(i), 1)
+	}
+	didx := db.Build()
+	wantDual := int64(60*(4+8+8)+5*(8+4)) + hashDirBytes(5)
+	if got := didx.SizeBytes(); got != wantDual {
+		t.Fatalf("dual SizeBytes = %d, want %d", got, wantDual)
+	}
+
+	// The map layout must report strictly more for identical postings: the
+	// flat rewrite exists to delete exactly that overhead.
+	var mb Builder
+	for i := uint32(0); i < 100; i++ {
+		mb.Add(uint64(i%7), i, float64(i))
+	}
+	mapIdx := mb.BuildMap()
+	if mapIdx.SizeBytes() <= idx.SizeBytes() {
+		t.Fatalf("map layout (%d B) should exceed flat layout (%d B)", mapIdx.SizeBytes(), idx.SizeBytes())
+	}
+}
+
+// TestMapIndexMatchesFlat cross-checks the benchmark baseline layout
+// against the flat one: same keys, same per-list contents, same cutoffs.
+func TestMapIndexMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var fb, mb Builder
+	for i := 0; i < 500; i++ {
+		key := uint64(rng.Intn(40))
+		obj := uint32(rng.Intn(200))
+		bound := math.Floor(rng.Float64()*1000) / 10
+		fb.Add(key, obj, bound)
+		mb.Add(key, obj, bound)
+	}
+	flat := fb.Build()
+	mp := mb.BuildMap()
+	if flat.Lists() != mp.Lists() || flat.Postings() != mp.Postings() {
+		t.Fatalf("layouts disagree on shape: flat %d/%d map %d/%d",
+			flat.Lists(), flat.Postings(), mp.Lists(), mp.Postings())
+	}
+	flat.Range(func(key uint64, l List) bool {
+		ml := mp.List(key)
+		if ml.Len() != l.Len() {
+			t.Fatalf("key %d: lengths %d vs %d", key, l.Len(), ml.Len())
+		}
+		for _, c := range []float64{0, 10, 33.3, 50, 100, 1000} {
+			if l.Cutoff(c) != ml.Cutoff(c) {
+				t.Fatalf("key %d: Cutoff(%g) disagrees: %d vs %d", key, c, l.Cutoff(c), ml.Cutoff(c))
+			}
+		}
+		for i := 0; i < l.Len(); i++ {
+			if l.Obj(i) != ml.objs[i] || l.Bound(i) != ml.bounds[i] {
+				t.Fatalf("key %d posting %d disagrees", key, i)
+			}
+		}
+		return true
+	})
 }
 
 // TestCutoffMatchesLinearScan cross-checks the binary-search cutoff against

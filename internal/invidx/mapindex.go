@@ -1,0 +1,78 @@
+package invidx
+
+// MapIndex is the pre-flattening posting storage: one heap-allocated list
+// per key behind a Go map. It exists only as the baseline the benchmarks
+// (and the sealbench "scoring" experiment) measure the flat Index against —
+// production code paths must use Index. Keeping it costs ~60 lines and buys
+// an honest, regenerable old-vs-new comparison in every future PR.
+
+// MapList is one posting list of a MapIndex, sorted by descending bound.
+type MapList struct {
+	objs   []uint32
+	bounds []float64
+}
+
+// Len returns the number of postings.
+func (l *MapList) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.objs)
+}
+
+// Cutoff returns the number of leading postings whose bound is >= c.
+func (l *MapList) Cutoff(c float64) int {
+	if l == nil {
+		return 0
+	}
+	return cutoffDesc(l.bounds, c)
+}
+
+// Objs returns the object IDs of the first n postings.
+func (l *MapList) Objs(n int) []uint32 { return l.objs[:n] }
+
+// MapIndex maps signature elements to individually-allocated posting lists.
+type MapIndex struct {
+	lists    map[uint64]*MapList
+	postings int
+}
+
+// BuildMap freezes the builder into the legacy map layout. Like Build, it
+// consumes the builder; list contents are ordered identically to Build's.
+func (b *Builder) BuildMap() *MapIndex {
+	idx := &MapIndex{lists: make(map[uint64]*MapList, len(b.lists))}
+	for key, ps := range b.lists {
+		sortPostings(ps)
+		l := &MapList{
+			objs:   make([]uint32, len(ps)),
+			bounds: make([]float64, len(ps)),
+		}
+		for i, p := range ps {
+			l.objs[i] = p.Obj
+			l.bounds[i] = p.Bound
+		}
+		idx.lists[key] = l
+		idx.postings += len(ps)
+	}
+	b.lists = nil
+	b.total = 0
+	return idx
+}
+
+// List returns the posting list of key, or nil if absent.
+func (ix *MapIndex) List(key uint64) *MapList { return ix.lists[key] }
+
+// Lists returns the number of non-empty lists.
+func (ix *MapIndex) Lists() int { return len(ix.lists) }
+
+// Postings returns the total number of postings.
+func (ix *MapIndex) Postings() int { return ix.postings }
+
+// SizeBytes estimates the in-memory footprint of the map layout: 12 bytes
+// per posting plus per-list key, pointer, struct and slice-header overhead
+// (8 + 8 + 48), underestimating the map's own buckets.
+func (ix *MapIndex) SizeBytes() int64 {
+	const perPosting = 4 + 8
+	const perList = 8 + 8 + 48 // key + *MapList + two slice headers
+	return int64(ix.postings)*perPosting + int64(len(ix.lists))*perList
+}

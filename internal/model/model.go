@@ -214,6 +214,13 @@ type Query struct {
 	// Tokens holds the query tokens known to the dataset vocabulary,
 	// ascending and de-duplicated.
 	Tokens []text.TokenID
+	// SigTokens is Tokens reordered into the vocabulary's global signature
+	// order (descending weight, Section 3.2) — the order every signature
+	// filter probes lists in. It is compiled once here so that concurrent
+	// shard searches share it instead of each re-sorting per query.
+	SigTokens []text.TokenID
+	// SigWeights[i] is w(SigTokens[i]).
+	SigWeights []float64
 	// UnknownWeight is the weight mass of query terms absent from every
 	// object. Unknown terms can never match, but they still enlarge the
 	// union in the Jaccard denominator, so they contribute to TotalWeight.
@@ -223,6 +230,9 @@ type Query struct {
 	TauR, TauT  float64
 
 	area float64
+	// sigRank[j] is the position of Tokens[j] in SigTokens: the accumulator
+	// bit a filter sets when it proves Tokens[j] ∈ o.T during a scan.
+	sigRank []uint32
 }
 
 // ErrThreshold reports an out-of-range similarity threshold.
@@ -243,19 +253,51 @@ func (ds *Dataset) NewQuery(region geo.Rect, terms []string, tauR, tauT float64)
 	}
 	q := &Query{Region: region, TauR: tauR, TauT: tauT, area: region.Area()}
 	maxW := maxIDFWeight(ds.Len())
-	seenUnknown := map[string]bool{}
+	var seenUnknown map[string]bool
 	ids := make([]text.TokenID, 0, len(terms))
 	for _, term := range terms {
 		if id, ok := ds.vocab.Lookup(term); ok {
 			ids = append(ids, id)
-		} else if !seenUnknown[term] {
-			seenUnknown[term] = true
-			q.UnknownWeight += maxW
+		} else {
+			if seenUnknown == nil {
+				seenUnknown = make(map[string]bool, 2)
+			}
+			if !seenUnknown[term] {
+				seenUnknown[term] = true
+				q.UnknownWeight += maxW
+			}
 		}
 	}
 	q.Tokens = text.SortDedup(ids)
 	q.TotalWeight = ds.vocab.TotalWeight(q.Tokens) + q.UnknownWeight
+	ds.compileSignature(q)
 	return q, nil
+}
+
+// compileSignature precomputes the signature-ordered token view filters probe
+// with, plus the ascending→signature position map the scan-time accumulator
+// uses as bit indexes.
+func (ds *Dataset) compileSignature(q *Query) {
+	q.SigTokens = append([]text.TokenID(nil), q.Tokens...)
+	ds.vocab.SortBySignatureOrder(q.SigTokens)
+	q.SigWeights = make([]float64, len(q.SigTokens))
+	for i, t := range q.SigTokens {
+		q.SigWeights[i] = ds.weights[t]
+	}
+	q.sigRank = make([]uint32, len(q.Tokens))
+	for i, t := range q.SigTokens {
+		// Tokens is ascending and duplicate-free; find t's ascending slot.
+		lo, hi := 0, len(q.Tokens)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if q.Tokens[mid] < t {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		q.sigRank[lo] = uint32(i)
+	}
 }
 
 func maxIDFWeight(numObjects int) float64 {
@@ -295,6 +337,37 @@ func (ds *Dataset) SimT(q *Query, id ObjectID) float64 {
 		return text.WeightedCosine(q.Tokens, o, ds.weights, q.TotalWeight, ds.totalW[id])
 	default:
 		return text.WeightedJaccard(q.Tokens, o, ds.weights, q.TotalWeight, ds.totalW[id])
+	}
+}
+
+// SimTAccum is the accumulate-then-verify fast path for SimT: bits marks
+// which signature positions (see Query.SigTokens) a filter proved to be in
+// object id's token set while scanning postings. Proven tokens skip the
+// membership probe entirely; the rest fall back to a binary search. The
+// result is bit-identical to SimT: the common weight sums the same members
+// in the same ascending-token order CommonWeight uses, and the final formula
+// is shared through text's FromCommon helpers.
+//
+// bits is only meaningful for queries with at most 64 known tokens; larger
+// queries (which cannot be accumulated) fall back to SimT.
+func (ds *Dataset) SimTAccum(q *Query, id ObjectID, bits uint64) float64 {
+	if len(q.Tokens) > 64 {
+		return ds.SimT(q, id)
+	}
+	o := ds.tokens[id]
+	var common float64
+	for j, t := range q.Tokens {
+		if bits&(1<<q.sigRank[j]) != 0 || text.Contains(o, t) {
+			common += ds.weights[t]
+		}
+	}
+	switch ds.textualSim {
+	case TextDice:
+		return text.DiceFromCommon(common, q.TotalWeight, ds.totalW[id])
+	case TextCosine:
+		return text.CosineFromCommon(common, q.TotalWeight, ds.totalW[id])
+	default:
+		return text.JaccardFromCommon(common, q.TotalWeight, ds.totalW[id])
 	}
 }
 

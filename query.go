@@ -11,7 +11,7 @@ package seal
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/sealdb/seal/internal/core"
 	"github.com/sealdb/seal/internal/engine"
@@ -348,7 +348,16 @@ func (ix *Index) queryRanked(ctx context.Context, req Request, cfg queryConfig) 
 	// selected page for presentation.
 	matches = cfg.page(matches)
 	if order == orderID {
-		sort.Slice(matches, func(i, j int) bool { return matches[i].ID < matches[j].ID })
+		slices.SortFunc(matches, func(a, b Match) int {
+			switch {
+			case a.ID < b.ID:
+				return -1
+			case a.ID > b.ID:
+				return 1
+			default:
+				return 0
+			}
+		})
 	}
 	return ix.finish(matches, st, cfg), nil
 }

@@ -5,7 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 
 	"github.com/sealdb/seal/internal/baseline"
@@ -228,7 +229,7 @@ func sortByTerm(terms []string, vals []float64) {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(i, j int) bool { return terms[idx[i]] < terms[idx[j]] })
+	slices.SortFunc(idx, func(a, b int) int { return strings.Compare(terms[a], terms[b]) })
 	t2 := make([]string, len(terms))
 	v2 := make([]float64, len(vals))
 	for pos, i := range idx {
