@@ -57,6 +57,7 @@ func main() {
 		level   = flag.Int("level", bench.DefaultConfig.HierMaxLevel, "grid-tree depth for Seal")
 		shards  = flag.String("shards", "", "comma-separated shard counts for the shards experiment (default 1,2,4,8)")
 		limit   = flag.String("limit", "", "comma-separated limits for the limit experiment (default 1,10,100)")
+		tiers   = flag.String("tiers", "", "comma-separated object counts for the storage experiment (default: -objects)")
 		jsonOut = flag.Bool("json", false, "emit one JSON record per experiment on stdout (tables go to stderr)")
 		smoke   = flag.Bool("smoke", false, "use the tiny smoke-test configuration")
 		list    = flag.Bool("list", false, "list experiments and exit")
@@ -108,6 +109,14 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.LimitSweep = sweep
+	}
+	if *tiers != "" {
+		sweep, err := parseSweep("tiers", *tiers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sealbench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.StorageTiers = sweep
 	}
 
 	out := io.Writer(os.Stdout)

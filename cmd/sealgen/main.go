@@ -6,6 +6,12 @@
 //
 //	sealgen -kind twitter -n 100000 -o twitter.snap
 //	sealgen -kind usa -n 50000 -seed 7 -o usa.snap
+//	sealgen -kind twitter -n 1000000 -zipf 1.05 -vocab 200000 -o big.snap
+//
+// -zipf, -vocab and -mean-tokens scale the token workload independently of
+// the object count: a lower Zipf exponent flattens token frequencies (longer
+// tail, more distinct posting lists), a larger vocabulary spreads the same
+// postings over more lists, and -mean-tokens grows every object's token set.
 package main
 
 import (
@@ -19,14 +25,21 @@ import (
 
 func main() {
 	var (
-		kind = flag.String("kind", "twitter", "dataset kind: twitter or usa")
-		n    = flag.Int("n", 100000, "number of objects")
-		seed = flag.Int64("seed", 42, "random seed")
-		out  = flag.String("o", "", "output snapshot path (required)")
+		kind       = flag.String("kind", "twitter", "dataset kind: twitter or usa")
+		n          = flag.Int("n", 100000, "number of objects")
+		seed       = flag.Int64("seed", 42, "random seed")
+		zipf       = flag.Float64("zipf", 0, "token-frequency Zipf exponent > 1 (default 1.10)")
+		vocab      = flag.Int("vocab", 0, "vocabulary size (default 50000 twitter, 30000 usa)")
+		meanTokens = flag.Float64("mean-tokens", 0, "mean tokens per object (default 14.3 twitter, 12.5 usa)")
+		out        = flag.String("o", "", "output snapshot path (required)")
 	)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "sealgen: -o output path is required")
+		os.Exit(2)
+	}
+	if *zipf != 0 && *zipf <= 1 {
+		fmt.Fprintln(os.Stderr, "sealgen: -zipf must be greater than 1")
 		os.Exit(2)
 	}
 
@@ -36,9 +49,13 @@ func main() {
 	)
 	switch *kind {
 	case "twitter":
-		ds, err = gen.Twitter(gen.TwitterConfig{N: *n, Seed: *seed})
+		ds, err = gen.Twitter(gen.TwitterConfig{
+			N: *n, Seed: *seed, ZipfS: *zipf, VocabSize: *vocab, MeanTokens: *meanTokens,
+		})
 	case "usa":
-		ds, err = gen.USA(gen.USAConfig{N: *n, Seed: *seed})
+		ds, err = gen.USA(gen.USAConfig{
+			N: *n, Seed: *seed, ZipfS: *zipf, VocabSize: *vocab, MeanTokens: *meanTokens,
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "sealgen: unknown kind %q (twitter or usa)\n", *kind)
 		os.Exit(2)

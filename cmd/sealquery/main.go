@@ -16,6 +16,12 @@
 // -topk K switches to ranked mode (records gain a "score" field, ordered
 // best-first). -shards builds a sharded index that searches in parallel.
 //
+// -segments DIR persists the index as mmap-able sealed segments: the first
+// run builds and saves, later runs with the same data and configuration boot
+// from disk by memory-mapping instead of re-indexing. With -segments and no
+// -data, the index boots purely from the segment directory (seal.Open).
+// -compress stores posting lists delta-encoded with quantized bounds.
+//
 // Interactive (one query per line: minx miny maxx maxy tauR tauT token...):
 //
 //	sealquery -data twitter.snap -i
@@ -50,35 +56,59 @@ func main() {
 		topK        = flag.Int("topk", 0, "if > 0, run a ranked (top-k) query instead of a threshold query")
 		alpha       = flag.Float64("alpha", 0.5, "spatial weight of the ranked score")
 		limit       = flag.Int("limit", 0, "if > 0, stop after this many matches (early termination)")
+		segments    = flag.String("segments", "", "segment directory: save on first run, mmap-boot on later runs")
+		compress    = flag.Bool("compress", false, "store compressed posting lists (delta + quantized bounds)")
 		interactive = flag.Bool("i", false, "read queries from stdin")
 	)
 	flag.Parse()
+	if *dataPath == "" && *segments == "" {
+		fail("sealquery: -data (or -segments with a saved index) is required")
+	}
+
+	var ix *seal.Index
 	if *dataPath == "" {
-		fail("sealquery: -data is required")
-	}
+		// Boot purely from sealed segments: no snapshot load, no indexing.
+		fmt.Fprintf(os.Stderr, "opening segments at %s...\n", *segments)
+		opened, err := seal.Open(*segments)
+		if err != nil {
+			fail("sealquery: %v", err)
+		}
+		ix = opened
+	} else {
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			fail("sealquery: %v", err)
+		}
+		ds, err := model.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fail("sealquery: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d objects, building %s index...\n", ds.Len(), *method)
 
-	f, err := os.Open(*dataPath)
-	if err != nil {
-		fail("sealquery: %v", err)
+		opts, err := buildOptions(*method, *granularity, *shards)
+		if err != nil {
+			fail("sealquery: %v", err)
+		}
+		if *compress {
+			opts = append(opts, seal.WithCompression(seal.CompressionQuantized))
+		}
+		if *segments != "" {
+			opts = append(opts, seal.WithSegmentDir(*segments))
+		}
+		ix, err = seal.Build(snapshotObjects(ds), opts...)
+		if err != nil {
+			fail("sealquery: %v", err)
+		}
 	}
-	ds, err := model.ReadSnapshot(f)
-	f.Close()
-	if err != nil {
-		fail("sealquery: %v", err)
-	}
-	fmt.Fprintf(os.Stderr, "loaded %d objects, building %s index...\n", ds.Len(), *method)
-
-	opts, err := buildOptions(*method, *granularity, *shards)
-	if err != nil {
-		fail("sealquery: %v", err)
-	}
-	ix, err := seal.Build(snapshotObjects(ds), opts...)
-	if err != nil {
-		fail("sealquery: %v", err)
-	}
+	defer ix.Close()
 	st := ix.Stats()
-	fmt.Fprintf(os.Stderr, "index ready (%s, %d shard(s), %.1f MB)\n",
-		st.Method, st.Shards, float64(st.IndexBytes)/(1<<20))
+	boot := "built"
+	if st.Mapped {
+		boot = "mapped"
+	}
+	fmt.Fprintf(os.Stderr, "index ready (%s, %d shard(s), %.1f MB, %s)\n",
+		st.Method, st.Shards, float64(st.IndexBytes)/(1<<20), boot)
 
 	if *interactive {
 		runREPL(ix)

@@ -117,4 +117,37 @@
 //
 // which reports the filter/verify time split, postings scanned, allocs per
 // query, and the flat-vs-map posting-layout comparison.
+//
+// # Storage
+//
+// Two build options control how the signature methods store and boot their
+// posting lists; neither changes any answer, only bytes and nanoseconds.
+//
+// WithCompression re-encodes posting lists after the build: object IDs
+// become ascending delta varints and pruning bounds are quantized to 16
+// bits (CompressionQuantized, recommended) or kept as full float64s
+// (CompressionExact). Quantized bounds round up, so threshold cutoffs stay
+// supersets and exact verification returns identical matches. Short lists
+// stay raw and dense lists switch to a bitmap automatically, per list.
+// Decoding runs through each searcher's reusable scratch, preserving the
+// zero-allocation steady state.
+//
+// WithSegmentDir(dir) persists the index as sealed segments: one SEALIDX2
+// file per shard (the flat posting arenas, key table and hash directory as
+// page-aligned little-endian sections, each CRC-checksummed), a dataset
+// snapshot, the shard partition, and per-token grid selections for
+// MethodSeal, with a manifest written last so interrupted saves are never
+// mistaken for complete ones. When dir already matches the objects and
+// configuration (by fingerprint), Build memory-maps the segments instead of
+// re-indexing; Open boots an index purely from dir. Mapped indexes should
+// be Closed when done. Only the signature methods persist segments; the
+// tree baselines rebuild from the snapshot.
+//
+//	ix, _ := seal.Build(objects, seal.WithCompression(seal.CompressionQuantized),
+//		seal.WithSegmentDir("idx"))   // first run: builds and saves
+//	ix, _ = seal.Open("idx")          // later: boots from disk, no indexing
+//	defer ix.Close()
+//
+// IndexStats reports the storage state: Mapped is true for a segment-backed
+// index, Compressed when posting lists are stored encoded.
 package seal

@@ -38,6 +38,9 @@ type Config struct {
 	// LimitSweep lists the limits of the early-termination experiment;
 	// empty means {1, 10, 100}.
 	LimitSweep []int
+	// StorageTiers lists the object-count tiers of the storage experiment;
+	// empty means {TwitterN}.
+	StorageTiers []int
 }
 
 // DefaultConfig is the full experiment scale (about a minute of dataset and

@@ -40,6 +40,8 @@ var Experiments = []Experiment{
 		func(env *Env) (any, error) { return LimitScaling(env) }},
 	{"scoring", "Extra: accumulator fast path: scan-time scoring, flat postings, allocs/query", Scoring,
 		func(env *Env) (any, error) { return ScoringData(env) }},
+	{"storage", "Extra: compressed postings and mmap segments: size, open time, query cost", Storage,
+		func(env *Env) (any, error) { return StorageData(env) }},
 }
 
 // Lookup finds an experiment by name.

@@ -8,10 +8,13 @@ package core_test
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/diskidx"
 	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/invidx"
 	"github.com/sealdb/seal/internal/model"
 )
 
@@ -104,6 +107,125 @@ func TestSearchZeroAllocs(t *testing.T) {
 			}
 		}
 	}
+}
+
+// requireZeroAllocs warms a searcher over the query set, then asserts every
+// steady-state Search is allocation-free.
+func requireZeroAllocs(t *testing.T, label string, ds *model.Dataset, f core.Filter, queries []*model.Query) {
+	t.Helper()
+	s := core.NewSearcher(ds, f)
+	for i := 0; i < 2; i++ {
+		for _, q := range queries {
+			s.Search(q)
+		}
+	}
+	for qi, q := range queries {
+		if avg := testing.AllocsPerRun(20, func() { s.Search(q) }); avg != 0 {
+			t.Errorf("%s %s query %d: %.1f allocs/op, want 0", label, f.Name(), qi, avg)
+		}
+	}
+}
+
+// TestSearchZeroAllocsCompressed: the zero-allocation contract must survive
+// posting compression — probes decode through the searcher's ListScratch, so
+// once that buffer has grown to the longest list the steady state touches
+// the heap exactly as often as the flat layout: never.
+func TestSearchZeroAllocsCompressed(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	ds := allocDataset(t, 600)
+	queries := allocQueries(t, ds, 8)
+	for _, exact := range []bool{false, true} {
+		for _, f := range allocFilters(t, ds) {
+			c, ok := f.(interface{ CompressPostings(invidx.Compression) })
+			if !ok {
+				continue
+			}
+			c.CompressPostings(invidx.Compression{ExactBounds: exact})
+			label := "compressed"
+			if exact {
+				label = "compressed-exact"
+			}
+			requireZeroAllocs(t, label, ds, f, queries)
+		}
+	}
+}
+
+// TestSearchZeroAllocsRealisticGranularity pins the grid and hybrid filters
+// at bench-scale parameters (the BENCH_PR3 report measured them only at
+// P=1024), raw and compressed.
+func TestSearchZeroAllocsRealisticGranularity(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	ds := allocDataset(t, 300)
+	queries := allocQueries(t, ds, 6)
+	grid, err := core.NewGridFilter(ds, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybridExact, err := core.NewHybridHashFilter(ds, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybridHash, err := core.NewHybridHashFilter(ds, 256, 509)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters := []core.Filter{grid, hybridExact, hybridHash}
+	for _, f := range filters {
+		requireZeroAllocs(t, "raw", ds, f, queries)
+	}
+	for _, f := range filters {
+		f.(interface{ CompressPostings(invidx.Compression) }).CompressPostings(invidx.Compression{})
+		requireZeroAllocs(t, "compressed", ds, f, queries)
+	}
+}
+
+// TestSearchZeroAllocsMapped: probing lists straight out of an mmap-backed
+// SEALIDX2 segment must stay allocation-free too — the section views are
+// zero-copy and compressed lists decode through the same scratch.
+func TestSearchZeroAllocsMapped(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	ds := allocDataset(t, 400)
+	queries := allocQueries(t, ds, 6)
+	dir := t.TempDir()
+
+	token := core.NewTokenFilter(ds)
+	hierCfg := core.HierarchicalConfig{MaxLevel: 5, GridBudget: 6}
+	hier, err := core.NewHierarchicalFilter(ds, hierCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	openMapped := func(name string, src any) *diskidx.Segment {
+		path := filepath.Join(dir, name)
+		if err := diskidx.WriteSegment(path, src, ds.Len()); err != nil {
+			t.Fatal(err)
+		}
+		seg, err := diskidx.OpenMapped(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { seg.Close() })
+		return seg
+	}
+
+	rawSeg := openMapped("token-raw.seg", token.Index())
+	requireZeroAllocs(t, "mapped-raw", ds, core.OpenTokenFilter(ds, rawSeg.Single()), queries)
+
+	compSeg := openMapped("token-comp.seg", invidx.Compress(token.Index(), invidx.Compression{}))
+	requireZeroAllocs(t, "mapped-compressed", ds, core.OpenTokenFilter(ds, compSeg.Single()), queries)
+
+	sealSeg := openMapped("seal.seg", invidx.CompressDual(hier.DualSource().(*invidx.DualIndex), invidx.Compression{}))
+	mappedHier, err := core.OpenHierarchicalFilter(ds, hierCfg, hier.TokenGrids(), sealSeg.Dual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireZeroAllocs(t, "mapped-compressed", ds, mappedHier, queries)
 }
 
 // TestStreamByIDZeroAllocs: the ID-ordered streaming path shares the same

@@ -19,7 +19,7 @@ type GridFilter struct {
 	ds      *model.Dataset
 	grid    *gridsig.Grid
 	counter *gridsig.Counter
-	idx     *invidx.Index
+	idx     invidx.Source
 }
 
 // NewGridFilter indexes all objects of ds on a p×p grid over the dataset
@@ -50,6 +50,51 @@ func NewGridFilter(ds *model.Dataset, p int) (*GridFilter, error) {
 		}
 	}
 	return &GridFilter{ds: ds, grid: grid, counter: counter, idx: b.Build()}, nil
+}
+
+// OpenGridFilter pairs ds with persisted posting storage instead of
+// regenerating signatures. The query-side cell counter is recovered from the
+// index itself when possible: count(g) is by construction the length of cell
+// g's posting list (both count the regions with positive overlap area), so
+// sources exposing list lengths reopen in O(lists) with no geometry pass.
+// Other sources fall back to the O(N) region pass of NewGridFilter; either
+// way the reopened filter reproduces the built one exactly.
+func OpenGridFilter(ds *model.Dataset, p int, src invidx.Source) (*GridFilter, error) {
+	grid, err := gridsig.New(ds.Space(), p)
+	if err != nil {
+		return nil, err
+	}
+	counter := gridsig.NewCounter(grid)
+	if lr, ok := src.(invidx.LengthRanger); ok {
+		cells := uint64(grid.Cells())
+		var bad error
+		lr.EachLen(func(key uint64, n int) {
+			if key >= cells {
+				bad = fmt.Errorf("core: grid posting key %d outside %d×%d grid", key, p, p)
+				return
+			}
+			counter.AddCount(uint32(key), uint32(n))
+		})
+		if bad != nil {
+			return nil, bad
+		}
+	} else {
+		for obj := 0; obj < ds.Len(); obj++ {
+			counter.AddRegion(ds.Region(model.ObjectID(obj)))
+		}
+	}
+	return &GridFilter{ds: ds, grid: grid, counter: counter, idx: src}, nil
+}
+
+// Source exposes the posting storage for segment writers.
+func (f *GridFilter) Source() invidx.Source { return f.idx }
+
+// CompressPostings re-encodes the filter's posting lists in place; a no-op
+// unless the filter still holds the flat in-memory layout.
+func (f *GridFilter) CompressPostings(c invidx.Compression) {
+	if ix, ok := f.idx.(*invidx.Index); ok {
+		f.idx = invidx.Compress(ix, c)
+	}
 }
 
 // Name implements Filter.
@@ -100,7 +145,11 @@ func (f *GridFilter) CollectScratch(q *model.Query, cs *CandidateSet, st *Filter
 		if stop != nil && stop() {
 			return
 		}
-		l := f.idx.List(uint64(cw.Cell))
+		l, err := f.idx.Probe(uint64(cw.Cell), &scr.dec)
+		if err != nil {
+			floodCandidates(f.ds, cs, st)
+			return
+		}
 		if l.Len() == 0 {
 			continue
 		}

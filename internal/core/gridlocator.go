@@ -37,12 +37,23 @@ type gridHit struct {
 // newGridLocator indexes grids, which must already be in the token's global
 // order (position i = order i).
 func newGridLocator(tree *gridtree.Tree, grids []hss.Grid) *gridLocator {
-	byLevel := map[int][]int32{}
+	ordered := make([]gridtree.NodeID, len(grids))
 	for i, g := range grids {
-		l := g.Node.Level()
+		ordered[i] = g.Node
+	}
+	return newGridLocatorNodes(tree, ordered)
+}
+
+// newGridLocatorNodes indexes a token's grids given only their node IDs in
+// global order — all the locator ever uses of an hss.Grid, which is what
+// lets a persisted segment rebuild locators without re-running HSS.
+func newGridLocatorNodes(tree *gridtree.Tree, ordered []gridtree.NodeID) *gridLocator {
+	byLevel := map[int][]int32{}
+	for i, n := range ordered {
+		l := n.Level()
 		byLevel[l] = append(byLevel[l], int32(i))
 	}
-	loc := &gridLocator{tree: tree, total: len(grids)}
+	loc := &gridLocator{tree: tree, total: len(ordered)}
 	for l := 0; l <= tree.MaxLevel; l++ {
 		idxs, ok := byLevel[l]
 		if !ok {
@@ -50,9 +61,9 @@ func newGridLocator(tree *gridtree.Tree, grids []hss.Grid) *gridLocator {
 		}
 		slices.SortFunc(idxs, func(a, b int32) int {
 			switch {
-			case grids[a].Node < grids[b].Node:
+			case ordered[a] < ordered[b]:
 				return -1
-			case grids[a].Node > grids[b].Node:
+			case ordered[a] > ordered[b]:
 				return 1
 			default:
 				return 0
@@ -60,13 +71,25 @@ func newGridLocator(tree *gridtree.Tree, grids []hss.Grid) *gridLocator {
 		})
 		nodes := make([]gridtree.NodeID, len(idxs))
 		for j, i := range idxs {
-			nodes[j] = grids[i].Node
+			nodes[j] = ordered[i]
 		}
 		loc.levels = append(loc.levels, l)
 		loc.nodes = append(loc.nodes, nodes)
 		loc.pos = append(loc.pos, idxs)
 	}
 	return loc
+}
+
+// orderedNodes reconstructs the token's grids in global order, inverting the
+// by-level layout.
+func (loc *gridLocator) orderedNodes() []gridtree.NodeID {
+	out := make([]gridtree.NodeID, loc.total)
+	for li := range loc.nodes {
+		for j, n := range loc.nodes[li] {
+			out[loc.pos[li][j]] = n
+		}
+	}
+	return out
 }
 
 // project appends the grids sharing positive area with r to out, sorted by

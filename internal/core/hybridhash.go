@@ -18,7 +18,7 @@ type HybridHashFilter struct {
 	ds      *model.Dataset
 	grid    *gridsig.Grid
 	counter *gridsig.Counter
-	idx     *invidx.DualIndex
+	idx     invidx.DualSource
 	buckets uint64
 }
 
@@ -73,6 +73,39 @@ func NewHybridHashFilter(ds *model.Dataset, p int, buckets int) (*HybridHashFilt
 	}
 	f.idx = b.Build()
 	return f, nil
+}
+
+// OpenHybridHashFilter pairs ds with persisted posting storage instead of
+// regenerating hybrid signatures; p and buckets must match the build-time
+// parameters (they determine the probe keys).
+func OpenHybridHashFilter(ds *model.Dataset, p, buckets int, src invidx.DualSource) (*HybridHashFilter, error) {
+	grid, err := gridsig.New(ds.Space(), p)
+	if err != nil {
+		return nil, err
+	}
+	counter := gridsig.NewCounter(grid)
+	for obj := 0; obj < ds.Len(); obj++ {
+		counter.AddRegion(ds.Region(model.ObjectID(obj)))
+	}
+	f := &HybridHashFilter{ds: ds, grid: grid, counter: counter, idx: src}
+	if buckets > 0 {
+		f.buckets = uint64(buckets)
+	}
+	return f, nil
+}
+
+// DualSource exposes the posting storage for segment writers.
+func (f *HybridHashFilter) DualSource() invidx.DualSource { return f.idx }
+
+// Buckets returns the hash-bucket cap (0 = exact (token, cell) keys).
+func (f *HybridHashFilter) Buckets() int { return int(f.buckets) }
+
+// CompressPostings re-encodes the filter's posting lists in place; a no-op
+// unless the filter still holds the flat in-memory layout.
+func (f *HybridHashFilter) CompressPostings(c invidx.Compression) {
+	if ix, ok := f.idx.(*invidx.DualIndex); ok {
+		f.idx = invidx.CompressDual(ix, c)
+	}
 }
 
 // key maps a (token, cell) pair to its bucket.
@@ -163,7 +196,11 @@ func (f *HybridHashFilter) CollectScratch(q *model.Query, cs *CandidateSet, st *
 			if stop != nil && stop() {
 				return
 			}
-			l := f.idx.List(f.key(t, cw.Cell))
+			l, err := f.idx.ProbeDual(f.key(t, cw.Cell), &scr.dec)
+			if err != nil {
+				floodCandidates(f.ds, cs, st)
+				return
+			}
 			if l.Len() == 0 {
 				continue
 			}

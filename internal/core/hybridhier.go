@@ -29,7 +29,7 @@ type HierarchicalFilter struct {
 	// ascending level, then ascending count, then node ID); nil for tokens
 	// absent from the corpus.
 	tokenLoc []*gridLocator
-	idx      *invidx.DualIndex
+	idx      invidx.DualSource
 	budget   int
 }
 
@@ -206,6 +206,69 @@ func NewHierarchicalFilter(ds *model.Dataset, cfg HierarchicalConfig) (*Hierarch
 	return f, nil
 }
 
+// OpenHierarchicalFilter pairs ds with persisted posting storage and the
+// persisted per-token grid selections, skipping both signature generation
+// and the HSS runs — the expensive steps of NewHierarchicalFilter.
+// tokenGrids[t] lists token t's selected grids in its global order (nil or
+// empty for absent tokens), exactly as TokenGrids exported them.
+func OpenHierarchicalFilter(ds *model.Dataset, cfg HierarchicalConfig, tokenGrids [][]gridtree.NodeID, src invidx.DualSource) (*HierarchicalFilter, error) {
+	if cfg.MaxLevel <= 0 {
+		cfg.MaxLevel = DefaultHierarchicalConfig.MaxLevel
+	}
+	if cfg.GridBudget <= 0 {
+		cfg.GridBudget = DefaultHierarchicalConfig.GridBudget
+	}
+	tree, err := gridtree.New(ds.Space(), cfg.MaxLevel)
+	if err != nil {
+		return nil, err
+	}
+	if len(tokenGrids) != ds.Vocab().Len() {
+		return nil, fmt.Errorf("core: %d token grid sets for a %d-token vocabulary", len(tokenGrids), ds.Vocab().Len())
+	}
+	f := &HierarchicalFilter{ds: ds, tree: tree, budget: cfg.GridBudget, idx: src}
+	f.tokenLoc = make([]*gridLocator, len(tokenGrids))
+	for t, nodes := range tokenGrids {
+		if len(nodes) == 0 {
+			continue
+		}
+		for _, n := range nodes {
+			if n.Level() > tree.MaxLevel {
+				return nil, fmt.Errorf("core: token %d grid at level %d exceeds tree depth %d", t, n.Level(), tree.MaxLevel)
+			}
+		}
+		f.tokenLoc[t] = newGridLocatorNodes(tree, nodes)
+	}
+	return f, nil
+}
+
+// DualSource exposes the posting storage for segment writers.
+func (f *HierarchicalFilter) DualSource() invidx.DualSource { return f.idx }
+
+// MaxLevel returns the grid-tree depth the filter was built with.
+func (f *HierarchicalFilter) MaxLevel() int { return f.tree.MaxLevel }
+
+// TokenGrids exports every token's selected grids in its global order — the
+// piece of filter state (besides the posting lists) that cannot be
+// re-derived cheaply, since it is the output of the per-token HSS runs.
+// Absent tokens yield nil.
+func (f *HierarchicalFilter) TokenGrids() [][]gridtree.NodeID {
+	out := make([][]gridtree.NodeID, len(f.tokenLoc))
+	for t, loc := range f.tokenLoc {
+		if loc != nil {
+			out[t] = loc.orderedNodes()
+		}
+	}
+	return out
+}
+
+// CompressPostings re-encodes the filter's posting lists in place; a no-op
+// unless the filter still holds the flat in-memory layout.
+func (f *HierarchicalFilter) CompressPostings(c invidx.Compression) {
+	if ix, ok := f.idx.(*invidx.DualIndex); ok {
+		f.idx = invidx.CompressDual(ix, c)
+	}
+}
+
 // hierOrder selects the global order of a token's hierarchical grids.
 // The paper prescribes ascending level then ascending count (Section 5.2)
 // but leaves order tuning as future work; hierOrderCount is the
@@ -323,7 +386,11 @@ func (f *HierarchicalFilter) CollectScratch(q *model.Query, cs *CandidateSet, st
 			if stop != nil && stop() {
 				return
 			}
-			l := f.idx.List(hierKey(t, h.node))
+			l, err := f.idx.ProbeDual(hierKey(t, h.node), &scr.dec)
+			if err != nil {
+				floodCandidates(f.ds, cs, st)
+				return
+			}
 			if l.Len() == 0 {
 				continue
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/sealdb/seal/internal/gridsig"
+	"github.com/sealdb/seal/internal/invidx"
 	"github.com/sealdb/seal/internal/model"
 )
 
@@ -19,6 +20,11 @@ type Scratch struct {
 	hits []gridHit
 	// ids holds the sorted candidate order for ID-ordered streaming.
 	ids []uint32
+	// dec is the posting-list decode buffer: probes against compressed or
+	// mapped indexes materialize lists here, so decoding allocates nothing
+	// once the buffer has grown to the longest list (flat in-memory indexes
+	// ignore it and return arena views).
+	dec invidx.ListScratch
 }
 
 // ScratchFilter is the allocation-free collection interface. CollectScratch

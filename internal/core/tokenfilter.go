@@ -11,8 +11,11 @@ import (
 // Lemma 3 suffix-weight bounds in the global token order (descending idf),
 // and queries probe only their signature prefix with a per-list cutoff.
 type TokenFilter struct {
-	ds  *model.Dataset
-	idx *invidx.Index
+	ds *model.Dataset
+	// idx is the posting storage: the flat in-memory index right after
+	// NewTokenFilter, possibly a compressed or mmap-backed source after
+	// CompressPostings or OpenTokenFilter. Answers are identical either way.
+	idx invidx.Source
 }
 
 // NewTokenFilter indexes all objects of ds.
@@ -38,12 +41,36 @@ func NewTokenFilter(ds *model.Dataset) *TokenFilter {
 	return &TokenFilter{ds: ds, idx: b.Build()}
 }
 
+// OpenTokenFilter pairs ds with persisted posting storage (a compressed or
+// mmap-backed source read back from a segment) instead of rebuilding the
+// lists. The source must have been built over the same dataset.
+func OpenTokenFilter(ds *model.Dataset, src invidx.Source) *TokenFilter {
+	return &TokenFilter{ds: ds, idx: src}
+}
+
 // Name implements Filter.
 func (f *TokenFilter) Name() string { return "TokenFilter" }
 
-// Index exposes the underlying posting lists so they can be persisted
-// (diskidx mirrors the paper's disk-resident deployment).
-func (f *TokenFilter) Index() *invidx.Index { return f.idx }
+// Index exposes the flat posting lists so they can be persisted (diskidx
+// mirrors the paper's disk-resident deployment). It returns nil once the
+// filter no longer holds a flat in-memory index (after CompressPostings or
+// OpenTokenFilter); persist before compressing.
+func (f *TokenFilter) Index() *invidx.Index {
+	ix, _ := f.idx.(*invidx.Index)
+	return ix
+}
+
+// Source exposes the posting storage for segment writers.
+func (f *TokenFilter) Source() invidx.Source { return f.idx }
+
+// CompressPostings re-encodes the filter's posting lists in place (delta
+// varints, bound quantization per c). A no-op unless the filter still holds
+// the flat in-memory layout.
+func (f *TokenFilter) CompressPostings(c invidx.Compression) {
+	if ix, ok := f.idx.(*invidx.Index); ok {
+		f.idx = invidx.Compress(ix, c)
+	}
+}
 
 // SizeBytes implements Filter.
 func (f *TokenFilter) SizeBytes() int64 { return f.idx.SizeBytes() }
@@ -56,13 +83,15 @@ func (f *TokenFilter) Postings() int { return f.idx.Postings() }
 // cT = τT · Σ_{t∈q.T} w(t); prefix filtering retrieves exactly the objects
 // that share a prefix element with the query's prefix.
 func (f *TokenFilter) Collect(q *model.Query, cs *CandidateSet, st *FilterStats) {
-	f.CollectScratch(q, cs, st, nil, nil)
+	var scr Scratch
+	f.CollectScratch(q, cs, st, nil, &scr)
 }
 
 // CollectStop implements StoppableFilter: stop is polled before each
 // inverted-list probe.
 func (f *TokenFilter) CollectStop(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool) {
-	f.CollectScratch(q, cs, st, stop, nil)
+	var scr Scratch
+	f.CollectScratch(q, cs, st, stop, &scr)
 }
 
 // accumulatesSimT: every posting in list t certifies t ∈ o.T, so the scan
@@ -70,9 +99,9 @@ func (f *TokenFilter) CollectStop(q *model.Query, cs *CandidateSet, st *FilterSt
 func (f *TokenFilter) accumulatesSimT() bool { return true }
 
 // CollectScratch implements ScratchFilter. The query's signature-ordered
-// tokens and weights are precompiled on the Query itself, so this filter
-// needs no scratch at all (scr may be nil) and allocates nothing.
-func (f *TokenFilter) CollectScratch(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool, _ *Scratch) {
+// tokens and weights are precompiled on the Query itself, so only the
+// decode buffer inside scr is used and the scan allocates nothing.
+func (f *TokenFilter) CollectScratch(q *model.Query, cs *CandidateSet, st *FilterStats, stop func() bool, scr *Scratch) {
 	_, cT := Thresholds(q)
 	if cT <= 0 {
 		return
@@ -84,7 +113,11 @@ func (f *TokenFilter) CollectScratch(q *model.Query, cs *CandidateSet, st *Filte
 		if stop != nil && stop() {
 			return
 		}
-		l := f.idx.List(uint64(t))
+		l, err := f.idx.Probe(uint64(t), &scr.dec)
+		if err != nil {
+			floodCandidates(f.ds, cs, st)
+			return
+		}
 		if l.Len() == 0 {
 			continue
 		}

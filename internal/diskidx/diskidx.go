@@ -172,6 +172,12 @@ func Open(path string) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("diskidx: %w", err)
 	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskidx: %w", err)
+	}
+	size := fi.Size()
 	r := &Reader{f: f, offsets: make(map[uint64]listLoc)}
 	br := bufio.NewReaderSize(f, 1<<20)
 	var got [8]byte
@@ -195,6 +201,15 @@ func Open(path string) (*Reader, error) {
 		entrySize = dualEntrySize
 	}
 	off := int64(8 + 1 + 4)
+	// Validate the claimed geometry against the actual file size before
+	// trusting it: each list costs at least its 16-byte header, and each
+	// list's payload must fit in the bytes that remain. A corrupt count or
+	// length field fails here instead of driving a huge allocation or a
+	// long pointless scan.
+	if int64(count) > (size-off)/16 {
+		f.Close()
+		return nil, fmt.Errorf("%w: list count exceeds file size", ErrCorrupt)
+	}
 	for i := uint32(0); i < count; i++ {
 		var hdr [16]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -205,6 +220,10 @@ func Open(path string) (*Reader, error) {
 		n := binary.LittleEndian.Uint32(hdr[8:])
 		crc := binary.LittleEndian.Uint32(hdr[12:])
 		payloadLen := int64(n) * entrySize
+		if payloadLen > size-off-16 {
+			f.Close()
+			return nil, fmt.Errorf("%w: list length exceeds file size", ErrCorrupt)
+		}
 		r.offsets[key] = listLoc{off: off + 16, n: n, crc: crc}
 		if _, err := br.Discard(int(payloadLen)); err != nil {
 			f.Close()

@@ -1,0 +1,20 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package diskidx
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. If the kernel refuses (exotic
+// filesystem, resource limits) it degrades to reading the file into memory;
+// the returned bool reports whether the bytes are actually mapped.
+func mapFile(f *os.File, size int) ([]byte, func() error, bool, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		data, closer, rerr := readFallback(f, size)
+		return data, closer, false, rerr
+	}
+	return data, func() error { return syscall.Munmap(data) }, true, nil
+}

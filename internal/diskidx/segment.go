@@ -1,0 +1,494 @@
+package diskidx
+
+// SEALIDX2: a sealed-segment format whose on-disk layout IS the in-memory
+// flat arena of package invidx, so a segment can be mmap-ed and probed
+// zero-copy — opening an index becomes a page-table operation instead of a
+// rebuild, and the OS page cache decides which posting pages stay resident.
+//
+// File layout (all integers little endian):
+//
+//	header   64 bytes
+//	    magic     [8]byte  "SEALIDX2"
+//	    version   uint32   currently 1
+//	    flags     uint32   bit0: dual bounds, bit1: compressed postings
+//	    nLists    uint64
+//	    nPostings uint64
+//	    nObjs     uint64   exclusive upper bound for posting object IDs
+//	    sections  uint32   number of section-table entries
+//	    reserved  [20]byte zero
+//	section table   sections × 24 bytes
+//	    id   uint32
+//	    crc  uint32   CRC32 (IEEE) of the section payload
+//	    off  uint64   absolute file offset, 4096-aligned
+//	    len  uint64   payload length in bytes
+//	sections   page-aligned payloads, zero-padded between
+//
+// A raw single-bound segment carries sections keys/starts/objs/bounds/dir;
+// raw dual adds tbounds; compressed segments carry keys/offs/counts/blob/dir.
+// Every section is CRC-checked at open, then handed to the invidx arena
+// validators, so a segment that opens cleanly satisfies every structural
+// invariant the query path relies on. All geometry claimed by the header is
+// validated against the actual file size before any of it is trusted.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"github.com/sealdb/seal/internal/invidx"
+)
+
+var magic2 = [8]byte{'S', 'E', 'A', 'L', 'I', 'D', 'X', '2'}
+
+const (
+	segVersion        = 1
+	segFlagDual       = 1 << 0
+	segFlagCompressed = 1 << 1
+	segPage           = 4096
+	segHeaderSize     = 64
+	segEntrySize      = 24
+	// segMaxSections bounds the section table; the densest layout (raw
+	// dual) uses 6 sections, so anything past a small cap is garbage.
+	segMaxSections = 16
+)
+
+// Section identifiers.
+const (
+	secKeys    = 1 // uint64 × nLists, ascending signature keys
+	secStarts  = 2 // uint32 × nLists+1, flat list offsets
+	secObjs    = 3 // uint32 × nPostings
+	secBounds  = 4 // float64 × nPostings (spatial lane for dual)
+	secTBounds = 5 // float64 × nPostings, raw dual only
+	secDir     = 6 // uint32 slots of the open-addressed key directory
+	secOffs    = 7 // uint32 × nLists+1, byte extents into the blob
+	secCounts  = 8 // uint32 × nLists, postings per compressed list
+	secBlob    = 9 // encoded posting blob
+)
+
+type section struct {
+	id   uint32
+	data []byte
+	off  int64
+}
+
+func alignPage(off int64) int64 {
+	return (off + segPage - 1) &^ (segPage - 1)
+}
+
+// wrapCorrupt rebrands an invidx validation failure as a diskidx corruption
+// error so callers test one sentinel for any malformed segment.
+func wrapCorrupt(err error) error {
+	return fmt.Errorf("%w: %v", ErrCorrupt, err)
+}
+
+// WriteSegment serializes an invidx index (*invidx.Index, *invidx.DualIndex,
+// *invidx.CompressedIndex or *invidx.CompressedDualIndex) as a SEALIDX2
+// segment at path. objects is the exclusive upper bound for posting object
+// IDs, recorded in the header so OpenMapped can validate postings without the
+// dataset.
+func WriteSegment(path string, idx any, objects int) error {
+	if objects < 0 || int64(objects) > 1<<32 {
+		return fmt.Errorf("diskidx: object count %d out of range", objects)
+	}
+	var (
+		secs      []section
+		flags     uint32
+		nLists    int
+		nPostings int
+	)
+	switch ix := idx.(type) {
+	case *invidx.Index:
+		a := ix.Arenas()
+		nLists, nPostings = len(a.Keys), len(a.Objs)
+		secs = rawSections(a, false)
+	case *invidx.DualIndex:
+		a := ix.Arenas()
+		nLists, nPostings = len(a.Keys), len(a.Objs)
+		flags = segFlagDual
+		secs = rawSections(a, true)
+	case *invidx.CompressedIndex:
+		a := ix.Arenas()
+		nLists, nPostings = len(a.Keys), ix.Postings()
+		flags = segFlagCompressed
+		secs = compressedSections(a)
+	case *invidx.CompressedDualIndex:
+		a := ix.Arenas()
+		nLists, nPostings = len(a.Keys), ix.Postings()
+		flags = segFlagDual | segFlagCompressed
+		secs = compressedSections(a)
+	default:
+		return fmt.Errorf("diskidx: cannot write %T as a segment", idx)
+	}
+
+	// Lay the sections out at page-aligned offsets and build the table.
+	table := make([]byte, len(secs)*segEntrySize)
+	off := alignPage(segHeaderSize + int64(len(table)))
+	for i := range secs {
+		s := &secs[i]
+		s.off = off
+		e := table[i*segEntrySize:]
+		binary.LittleEndian.PutUint32(e[0:], s.id)
+		binary.LittleEndian.PutUint32(e[4:], crc32.ChecksumIEEE(s.data))
+		binary.LittleEndian.PutUint64(e[8:], uint64(s.off))
+		binary.LittleEndian.PutUint64(e[16:], uint64(len(s.data)))
+		off = alignPage(off + int64(len(s.data)))
+	}
+
+	var hdr [segHeaderSize]byte
+	copy(hdr[:8], magic2[:])
+	binary.LittleEndian.PutUint32(hdr[8:], segVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], flags)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(nLists))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(nPostings))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(objects))
+	binary.LittleEndian.PutUint32(hdr[40:], uint32(len(secs)))
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("diskidx: %w", err)
+	}
+	w := &segWriter{w: bufio.NewWriterSize(f, 1<<20)}
+	w.write(hdr[:])
+	w.write(table)
+	for _, s := range secs {
+		w.padTo(s.off)
+		w.write(s.data)
+	}
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
+	if w.err != nil {
+		f.Close()
+		return fmt.Errorf("diskidx: %w", w.err)
+	}
+	return f.Close()
+}
+
+func rawSections(a invidx.RawArenas, dual bool) []section {
+	s := []section{
+		{id: secKeys, data: u64Bytes(a.Keys)},
+		{id: secStarts, data: u32Bytes(a.Starts)},
+		{id: secObjs, data: u32Bytes(a.Objs)},
+		{id: secBounds, data: f64Bytes(a.Bounds)},
+	}
+	if dual {
+		s = append(s, section{id: secTBounds, data: f64Bytes(a.TBounds)})
+	}
+	return append(s, section{id: secDir, data: u32Bytes(a.Slots)})
+}
+
+func compressedSections(a invidx.CompressedArenas) []section {
+	return []section{
+		{id: secKeys, data: u64Bytes(a.Keys)},
+		{id: secOffs, data: u32Bytes(a.Offs)},
+		{id: secCounts, data: u32Bytes(a.Counts)},
+		{id: secBlob, data: a.Blob},
+		{id: secDir, data: u32Bytes(a.Slots)},
+	}
+}
+
+// segWriter is a byte-counting writer with error latching and zero padding.
+type segWriter struct {
+	w   *bufio.Writer
+	off int64
+	err error
+}
+
+var segZeros [segPage]byte
+
+func (s *segWriter) write(p []byte) {
+	if s.err != nil {
+		return
+	}
+	n, err := s.w.Write(p)
+	s.off += int64(n)
+	s.err = err
+}
+
+func (s *segWriter) padTo(off int64) {
+	for s.err == nil && s.off < off {
+		n := off - s.off
+		if n > segPage {
+			n = segPage
+		}
+		s.write(segZeros[:n])
+	}
+}
+
+// Segment is an open SEALIDX2 segment. The posting data lives in the mapped
+// (or fallback-loaded) file bytes; the Source/DualSource views returned by
+// Single and Dual alias those pages, so they must not be probed after Close.
+type Segment struct {
+	closer  func() error
+	mapped  bool
+	dual    bool
+	comp    bool
+	objects int
+	size    int64
+	single  invidx.Source
+	dualSrc invidx.DualSource
+}
+
+// OpenMapped memory-maps the segment at path and wraps it as an invidx
+// probe source. The whole file is validated up front — header geometry
+// against the actual file size, per-section CRCs, then the invidx arena
+// invariants — so a segment that opens cleanly cannot fail structurally at
+// probe time. On platforms or filesystems where mmap fails the file is read
+// into memory instead; Mapped reports which path was taken.
+func OpenMapped(path string) (*Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("diskidx: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("diskidx: %w", err)
+	}
+	size := fi.Size()
+	if size < segHeaderSize {
+		return nil, fmt.Errorf("%w: file smaller than segment header", ErrCorrupt)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("%w: segment too large for this platform", ErrCorrupt)
+	}
+	data, closer, mapped, err := mapFile(f, int(size))
+	if err != nil {
+		return nil, fmt.Errorf("diskidx: %w", err)
+	}
+	seg, err := openSegment(data)
+	if err != nil {
+		closer()
+		return nil, err
+	}
+	seg.closer = closer
+	seg.mapped = mapped
+	seg.size = size
+	return seg, nil
+}
+
+func openSegment(data []byte) (*Segment, error) {
+	if [8]byte(data[:8]) != magic2 {
+		return nil, fmt.Errorf("%w: bad segment magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != segVersion {
+		return nil, fmt.Errorf("%w: unsupported segment version %d", ErrCorrupt, v)
+	}
+	flags := binary.LittleEndian.Uint32(data[12:])
+	if flags&^(segFlagDual|segFlagCompressed) != 0 {
+		return nil, fmt.Errorf("%w: unknown segment flags %#x", ErrCorrupt, flags)
+	}
+	nLists64 := binary.LittleEndian.Uint64(data[16:])
+	nPostings64 := binary.LittleEndian.Uint64(data[24:])
+	nObjs64 := binary.LittleEndian.Uint64(data[32:])
+	nSections := binary.LittleEndian.Uint32(data[40:])
+
+	size := int64(len(data))
+	// The header's counts size later multiplications and allocations, so
+	// cap them against what the file could possibly hold before use: keys
+	// cost 8 bytes each, raw postings at least 4, compressed postings at
+	// least a bit (checked exactly per list by the decoder).
+	if nLists64 > uint64(size)/8 || nPostings64 > 8*uint64(size) || nObjs64 > 1<<32 {
+		return nil, fmt.Errorf("%w: header counts exceed file size", ErrCorrupt)
+	}
+	if nSections > segMaxSections {
+		return nil, fmt.Errorf("%w: implausible section count %d", ErrCorrupt, nSections)
+	}
+	tblEnd := int64(segHeaderSize) + int64(nSections)*segEntrySize
+	if tblEnd > size {
+		return nil, fmt.Errorf("%w: section table exceeds file size", ErrCorrupt)
+	}
+
+	views := make(map[uint32][]byte, nSections)
+	for i := 0; i < int(nSections); i++ {
+		e := data[segHeaderSize+i*segEntrySize:]
+		id := binary.LittleEndian.Uint32(e[0:])
+		crc := binary.LittleEndian.Uint32(e[4:])
+		off := binary.LittleEndian.Uint64(e[8:])
+		length := binary.LittleEndian.Uint64(e[16:])
+		if off%segPage != 0 {
+			return nil, fmt.Errorf("%w: section %d not page aligned", ErrCorrupt, id)
+		}
+		if off < uint64(tblEnd) || off > uint64(size) || length > uint64(size)-off {
+			return nil, fmt.Errorf("%w: section %d out of file bounds", ErrCorrupt, id)
+		}
+		if _, dup := views[id]; dup {
+			return nil, fmt.Errorf("%w: duplicate section %d", ErrCorrupt, id)
+		}
+		v := data[off : off+length]
+		if crc32.ChecksumIEEE(v) != crc {
+			return nil, fmt.Errorf("%w: section %d checksum mismatch", ErrCorrupt, id)
+		}
+		views[id] = v
+	}
+
+	nLists := int(nLists64)
+	nPostings := int(nPostings64)
+	objects := int(nObjs64)
+	take := func(id uint32, wantLen int64) ([]byte, error) {
+		v, ok := views[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: missing section %d", ErrCorrupt, id)
+		}
+		delete(views, id)
+		if wantLen >= 0 && int64(len(v)) != wantLen {
+			return nil, fmt.Errorf("%w: section %d length %d, want %d", ErrCorrupt, id, len(v), wantLen)
+		}
+		if id == secDir && len(v)%4 != 0 {
+			return nil, fmt.Errorf("%w: directory length not word aligned", ErrCorrupt)
+		}
+		return v, nil
+	}
+
+	seg := &Segment{
+		dual:    flags&segFlagDual != 0,
+		comp:    flags&segFlagCompressed != 0,
+		objects: objects,
+	}
+	if seg.comp {
+		keys, err := take(secKeys, int64(nLists)*8)
+		if err != nil {
+			return nil, err
+		}
+		offs, err := take(secOffs, int64(nLists+1)*4)
+		if err != nil {
+			return nil, err
+		}
+		counts, err := take(secCounts, int64(nLists)*4)
+		if err != nil {
+			return nil, err
+		}
+		blob, err := take(secBlob, -1)
+		if err != nil {
+			return nil, err
+		}
+		dir, err := take(secDir, -1)
+		if err != nil {
+			return nil, err
+		}
+		if len(views) != 0 {
+			return nil, fmt.Errorf("%w: unexpected extra sections", ErrCorrupt)
+		}
+		a := invidx.CompressedArenas{
+			Keys:   viewU64(keys),
+			Offs:   viewU32(offs),
+			Counts: viewU32(counts),
+			Blob:   blob,
+			Slots:  viewU32(dir),
+		}
+		if seg.dual {
+			ix, err := invidx.CompressedDualFromArenas(a, nPostings, objects)
+			if err != nil {
+				return nil, wrapCorrupt(err)
+			}
+			seg.dualSrc = ix
+		} else {
+			ix, err := invidx.CompressedFromArenas(a, nPostings, objects)
+			if err != nil {
+				return nil, wrapCorrupt(err)
+			}
+			seg.single = ix
+		}
+		return seg, nil
+	}
+
+	keys, err := take(secKeys, int64(nLists)*8)
+	if err != nil {
+		return nil, err
+	}
+	starts, err := take(secStarts, int64(nLists+1)*4)
+	if err != nil {
+		return nil, err
+	}
+	objs, err := take(secObjs, int64(nPostings)*4)
+	if err != nil {
+		return nil, err
+	}
+	bounds, err := take(secBounds, int64(nPostings)*8)
+	if err != nil {
+		return nil, err
+	}
+	a := invidx.RawArenas{
+		Keys:   viewU64(keys),
+		Starts: viewU32(starts),
+		Objs:   viewU32(objs),
+		Bounds: viewF64(bounds),
+	}
+	if seg.dual {
+		tbounds, err := take(secTBounds, int64(nPostings)*8)
+		if err != nil {
+			return nil, err
+		}
+		a.TBounds = viewF64(tbounds)
+	}
+	dir, err := take(secDir, -1)
+	if err != nil {
+		return nil, err
+	}
+	a.Slots = viewU32(dir)
+	if len(views) != 0 {
+		return nil, fmt.Errorf("%w: unexpected extra sections", ErrCorrupt)
+	}
+	if seg.dual {
+		ix, err := invidx.DualFromArenas(a, objects)
+		if err != nil {
+			return nil, wrapCorrupt(err)
+		}
+		seg.dualSrc = ix
+	} else {
+		ix, err := invidx.FromArenas(a, objects)
+		if err != nil {
+			return nil, wrapCorrupt(err)
+		}
+		seg.single = ix
+	}
+	return seg, nil
+}
+
+// Single returns the segment's probe source. It panics on a dual segment —
+// check IsDual first when the flavour is not known statically.
+func (s *Segment) Single() invidx.Source {
+	if s.dual {
+		panic("diskidx: Single() on a dual-bound segment")
+	}
+	return s.single
+}
+
+// Dual returns the segment's dual-bound probe source. It panics on a
+// single-bound segment.
+func (s *Segment) Dual() invidx.DualSource {
+	if !s.dual {
+		panic("diskidx: Dual() on a single-bound segment")
+	}
+	return s.dualSrc
+}
+
+// IsDual reports whether the segment stores dual-bound postings.
+func (s *Segment) IsDual() bool { return s.dual }
+
+// Compressed reports whether the posting lists are stored encoded.
+func (s *Segment) Compressed() bool { return s.comp }
+
+// Mapped reports whether the segment is served from mmap-ed pages (false
+// means the open fell back to reading the file into memory).
+func (s *Segment) Mapped() bool { return s.mapped }
+
+// Objects returns the exclusive upper bound for posting object IDs recorded
+// at write time.
+func (s *Segment) Objects() int { return s.objects }
+
+// FileSize returns the segment's on-disk size in bytes.
+func (s *Segment) FileSize() int64 { return s.size }
+
+// Close unmaps the segment. Probing any source obtained from it afterwards
+// is invalid. Close is idempotent.
+func (s *Segment) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	c := s.closer
+	s.closer = nil
+	return c()
+}

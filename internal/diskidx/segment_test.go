@@ -1,0 +1,311 @@
+package diskidx
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/sealdb/seal/internal/invidx"
+)
+
+const segTestObjects = 10000
+
+func buildDual(rng *rand.Rand, lists, maxLen int) *invidx.DualIndex {
+	var b invidx.DualBuilder
+	for k := 0; k < lists; k++ {
+		n := 1 + rng.Intn(maxLen)
+		for i := 0; i < n; i++ {
+			b.Add(uint64(k*13+5), uint32(rng.Intn(segTestObjects)),
+				float64(rng.Intn(500))/10, float64(rng.Intn(50))/10)
+		}
+	}
+	return b.Build()
+}
+
+// expectSingleMatch checks that a mapped source answers every probe
+// identically to the in-memory index it was written from.
+func expectSingleMatch(t *testing.T, want *invidx.Index, got invidx.Source) {
+	t.Helper()
+	if got.Lists() != want.Lists() || got.Postings() != want.Postings() {
+		t.Fatalf("lists/postings = %d/%d, want %d/%d",
+			got.Lists(), got.Postings(), want.Lists(), want.Postings())
+	}
+	var scr invidx.ListScratch
+	want.Range(func(key uint64, wl invidx.List) bool {
+		gl, err := got.Probe(key, &scr)
+		if err != nil {
+			t.Fatalf("Probe(%d): %v", key, err)
+		}
+		if gl.Len() != wl.Len() {
+			t.Fatalf("key %d: len %d, want %d", key, gl.Len(), wl.Len())
+		}
+		for i := 0; i < wl.Len(); i++ {
+			if gl.Obj(i) != wl.Obj(i) || gl.Bound(i) != wl.Bound(i) {
+				t.Fatalf("key %d posting %d: (%d,%g), want (%d,%g)",
+					key, i, gl.Obj(i), gl.Bound(i), wl.Obj(i), wl.Bound(i))
+			}
+		}
+		return true
+	})
+	if l, err := got.Probe(0xdeadbeefcafe, &scr); err != nil || l.Len() != 0 {
+		t.Fatalf("missing key: len=%d err=%v", l.Len(), err)
+	}
+}
+
+func expectDualMatch(t *testing.T, want *invidx.DualIndex, got invidx.DualSource) {
+	t.Helper()
+	var scr invidx.ListScratch
+	want.Range(func(key uint64, wl invidx.DualList) bool {
+		gl, err := got.ProbeDual(key, &scr)
+		if err != nil {
+			t.Fatalf("ProbeDual(%d): %v", key, err)
+		}
+		if gl.Len() != wl.Len() {
+			t.Fatalf("key %d: len %d, want %d", key, gl.Len(), wl.Len())
+		}
+		for i := 0; i < wl.Len(); i++ {
+			wp, gp := wl.Posting(i), gl.Posting(i)
+			if gp != wp {
+				t.Fatalf("key %d posting %d: %+v, want %+v", key, i, gp, wp)
+			}
+		}
+		return true
+	})
+}
+
+// TestSegmentRoundTrip: all four index layouts must survive
+// write → OpenMapped with every probe bit-identical.
+func TestSegmentRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	single := buildSingle(rng, 60, 300)
+	dual := buildDual(rng, 40, 200)
+	dir := t.TempDir()
+
+	open := func(name string, idx any, wantDual, wantComp bool) *Segment {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := WriteSegment(path, idx, segTestObjects); err != nil {
+			t.Fatal(err)
+		}
+		seg, err := OpenMapped(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { seg.Close() })
+		if seg.IsDual() != wantDual || seg.Compressed() != wantComp {
+			t.Fatalf("%s: dual=%v compressed=%v, want %v/%v",
+				name, seg.IsDual(), seg.Compressed(), wantDual, wantComp)
+		}
+		if seg.Objects() != segTestObjects {
+			t.Fatalf("%s: objects = %d, want %d", name, seg.Objects(), segTestObjects)
+		}
+		if seg.FileSize() <= 0 {
+			t.Fatalf("%s: non-positive file size", name)
+		}
+		return seg
+	}
+
+	expectSingleMatch(t, single, open("raw.seg", single, false, false).Single())
+	expectDualMatch(t, dual, open("raw-dual.seg", dual, true, false).Dual())
+	for _, exact := range []bool{false, true} {
+		c := invidx.Compression{ExactBounds: exact}
+		name := map[bool]string{false: "quant", true: "exact"}[exact]
+		cs := invidx.Compress(single, c)
+		seg := open("comp-"+name+".seg", cs, false, true)
+		// The mapped view must match the compressed index, which the
+		// compress tests already tie to the original.
+		var scr invidx.ListScratch
+		single.Range(func(key uint64, _ invidx.List) bool {
+			wl, err := cs.Probe(key, &scr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var scr2 invidx.ListScratch
+			gl, err := seg.Single().Probe(key, &scr2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gl.Len() != wl.Len() {
+				t.Fatalf("key %d: len %d, want %d", key, gl.Len(), wl.Len())
+			}
+			for i := 0; i < wl.Len(); i++ {
+				if gl.Obj(i) != wl.Obj(i) || gl.Bound(i) != wl.Bound(i) {
+					t.Fatalf("key %d posting %d mismatch", key, i)
+				}
+			}
+			return true
+		})
+		cd := invidx.CompressDual(dual, c)
+		dseg := open("comp-dual-"+name+".seg", cd, true, true)
+		var scr3, scr4 invidx.ListScratch
+		dual.Range(func(key uint64, _ invidx.DualList) bool {
+			wl, err := cd.ProbeDual(key, &scr3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gl, err := dseg.Dual().ProbeDual(key, &scr4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gl.Len() != wl.Len() {
+				t.Fatalf("key %d: len %d, want %d", key, gl.Len(), wl.Len())
+			}
+			for i := 0; i < wl.Len(); i++ {
+				if gl.Posting(i) != wl.Posting(i) {
+					t.Fatalf("key %d posting %d mismatch", key, i)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// TestSegmentEmpty: an empty index still round-trips (four-slot directory,
+// one-entry starts arena, no postings).
+func TestSegmentEmpty(t *testing.T) {
+	var b invidx.Builder
+	path := filepath.Join(t.TempDir(), "empty.seg")
+	if err := WriteSegment(path, b.Build(), 0); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	if seg.Single().Lists() != 0 {
+		t.Fatalf("lists = %d, want 0", seg.Single().Lists())
+	}
+}
+
+// TestSegmentRejectsWrongType: only the four invidx layouts are writable.
+func TestSegmentRejectsWrongType(t *testing.T) {
+	if err := WriteSegment(filepath.Join(t.TempDir(), "x.seg"), 42, 10); err == nil {
+		t.Fatal("WriteSegment(int) should fail")
+	}
+}
+
+// TestSegmentMalformed: a table of header, section-table, and payload
+// corruptions — every one must be rejected at open with ErrCorrupt, never a
+// panic, out-of-range allocation, or silently wrong view.
+func TestSegmentMalformed(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	idx := buildSingle(rng, 20, 100)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "good.seg")
+	if err := WriteSegment(path, idx, segTestObjects); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(b []byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }},
+		{"bad version", func(b []byte) []byte { binary.LittleEndian.PutUint32(b[8:], 99); return b }},
+		{"unknown flags", func(b []byte) []byte { binary.LittleEndian.PutUint32(b[12:], 0x80); return b }},
+		{"truncated header", func(b []byte) []byte { return b[:32] }},
+		{"huge list count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:], 1<<60)
+			return b
+		}},
+		{"huge posting count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[24:], 1<<60)
+			return b
+		}},
+		{"posting count mismatch", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[24:], binary.LittleEndian.Uint64(b[24:])+1)
+			return b
+		}},
+		{"object bound too small", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[32:], 1)
+			return b
+		}},
+		{"implausible section count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[40:], 1000)
+			return b
+		}},
+		{"section unaligned", func(b []byte) []byte {
+			off := binary.LittleEndian.Uint64(b[segHeaderSize+8:])
+			binary.LittleEndian.PutUint64(b[segHeaderSize+8:], off+1)
+			return b
+		}},
+		{"section out of bounds", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[segHeaderSize+16:], 1<<40)
+			return b
+		}},
+		{"duplicate section id", func(b []byte) []byte {
+			// Rewrite the second entry's id to match the first.
+			id := binary.LittleEndian.Uint32(b[segHeaderSize:])
+			binary.LittleEndian.PutUint32(b[segHeaderSize+segEntrySize:], id)
+			return b
+		}},
+		{"missing section", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[segHeaderSize:], 200)
+			return b
+		}},
+		{"payload bit flip", func(b []byte) []byte {
+			// Flip a byte inside the first section's payload.
+			off := binary.LittleEndian.Uint64(b[segHeaderSize+8:])
+			b[off] ^= 0xFF
+			return b
+		}},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-16] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := tc.mutate(append([]byte(nil), good...))
+			p := filepath.Join(dir, "bad.seg")
+			if err := os.WriteFile(p, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			seg, err := OpenMapped(p)
+			if err == nil {
+				seg.Close()
+				t.Fatal("corrupt segment opened cleanly")
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v does not wrap ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestSEALIDX1Malformed: the legacy streamed format must also validate its
+// claimed geometry against the file size at open.
+func TestSEALIDX1Malformed(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, b []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	header := func(count uint32) []byte {
+		b := append([]byte(nil), magic[:]...)
+		b = append(b, 0) // flags: single
+		b = binary.LittleEndian.AppendUint32(b, count)
+		return b
+	}
+
+	// Count far beyond what the file could hold.
+	if _, err := Open(write("count.idx", header(1<<30))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge count: %v, want ErrCorrupt", err)
+	}
+	// One list whose length field exceeds the remaining bytes.
+	b := header(1)
+	b = binary.LittleEndian.AppendUint64(b, 7)          // key
+	b = binary.LittleEndian.AppendUint32(b, 0xFFFFFFFF) // n: absurd
+	b = binary.LittleEndian.AppendUint32(b, 0)          // crc
+	if _, err := Open(write("len.idx", b)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge list length: %v, want ErrCorrupt", err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 
 	"github.com/sealdb/seal/internal/core"
@@ -57,6 +58,9 @@ func (s *shard) global(id model.ObjectID) model.ObjectID {
 type Engine struct {
 	root   *model.Dataset
 	shards []*shard
+	// closers owns the mapped segments backing an engine opened from disk;
+	// empty for an in-memory build. See Close in segments.go.
+	closers []io.Closer
 }
 
 // Build partitions root into cfg.Shards spatial shards and constructs each

@@ -1,0 +1,350 @@
+package engine
+
+// Sealed-segment persistence: an engine whose shards use signature filters
+// can save everything a rebuild would recompute — the dataset snapshot, the
+// shard partition, each shard's posting arena as an mmap-able SEALIDX2
+// segment, and (for the SEAL method) each shard's per-token grid selections —
+// and reopen the whole index by mapping files instead of re-running signature
+// generation. A manifest records the filter configuration and a dataset
+// fingerprint so stale or mismatched segment directories are detected and
+// rebuilt rather than silently served.
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/diskidx"
+	"github.com/sealdb/seal/internal/gridtree"
+	"github.com/sealdb/seal/internal/invidx"
+	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/text"
+)
+
+// Segment directory layout.
+const (
+	manifestName = "manifest.json"
+	datasetName  = "dataset.snap"
+	partsName    = "parts.gob"
+)
+
+func segName(shard int) string      { return fmt.Sprintf("shard-%d.seg", shard) }
+func gridsGobName(shard int) string { return fmt.Sprintf("shard-%d.grids.gob", shard) }
+
+// FilterSpec identifies a filter configuration for manifest matching. Kind is
+// one of "token", "grid", "hybrid", "seal".
+type FilterSpec struct {
+	Kind       string `json:"kind"`
+	P          int    `json:"p,omitempty"`
+	Buckets    int    `json:"buckets,omitempty"`
+	MaxLevel   int    `json:"max_level,omitempty"`
+	GridBudget int    `json:"grid_budget,omitempty"`
+}
+
+// Manifest describes a segment directory.
+type Manifest struct {
+	Version     int        `json:"version"`
+	Objects     int        `json:"objects"`
+	Shards      int        `json:"shards"`
+	Filter      FilterSpec `json:"filter"`
+	Compressed  bool       `json:"compressed"`
+	Fingerprint string     `json:"fingerprint"`
+}
+
+const manifestVersion = 1
+
+// ErrNoSegments reports a directory without a readable manifest.
+var ErrNoSegments = errors.New("engine: no segment manifest")
+
+// ReadManifest loads dir's manifest, or ErrNoSegments if absent.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoSegments
+		}
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("engine: parsing manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("engine: unsupported manifest version %d", m.Version)
+	}
+	return &m, nil
+}
+
+// Fingerprint hashes the dataset's observable content — object count,
+// vocabulary, region coordinates (bit-exact), and per-object token IDs —
+// with FNV-1a, so a segment directory can prove it was built from the same
+// corpus before its postings are trusted for that corpus.
+func Fingerprint(ds *model.Dataset) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		buf[4] = byte(v >> 32)
+		buf[5] = byte(v >> 40)
+		buf[6] = byte(v >> 48)
+		buf[7] = byte(v >> 56)
+		h.Write(buf[:])
+	}
+	put(uint64(ds.Len()))
+	vocab := ds.Vocab()
+	put(uint64(vocab.Len()))
+	for i := 0; i < vocab.Len(); i++ {
+		io.WriteString(h, vocab.Term(text.TokenID(i)))
+		h.Write([]byte{0})
+	}
+	for i := 0; i < ds.Len(); i++ {
+		id := model.ObjectID(i)
+		r := ds.Region(id)
+		put(math.Float64bits(r.MinX))
+		put(math.Float64bits(r.MinY))
+		put(math.Float64bits(r.MaxX))
+		put(math.Float64bits(r.MaxY))
+		toks := ds.Tokens(id)
+		put(uint64(len(toks)))
+		for _, t := range toks {
+			put(uint64(t))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// segmentSource extracts a shard filter's posting storage for WriteSegment,
+// plus the SEAL grid selections when the filter is hierarchical. Baselines
+// (scan, keyword-first, spatial-first, IR-tree) have no posting arena to
+// persist and report an error.
+func segmentSource(f core.Filter) (src any, grids [][]gridtree.NodeID, spec FilterSpec, err error) {
+	switch f := f.(type) {
+	case *core.TokenFilter:
+		return f.Source(), nil, FilterSpec{Kind: "token"}, nil
+	case *core.GridFilter:
+		return f.Source(), nil, FilterSpec{Kind: "grid", P: f.Granularity()}, nil
+	case *core.HybridHashFilter:
+		return f.DualSource(), nil, FilterSpec{Kind: "hybrid", P: f.Granularity(), Buckets: f.Buckets()}, nil
+	case *core.HierarchicalFilter:
+		return f.DualSource(), f.TokenGrids(), FilterSpec{Kind: "seal", MaxLevel: f.MaxLevel(), GridBudget: f.Budget()}, nil
+	default:
+		return nil, nil, FilterSpec{}, fmt.Errorf("engine: filter %s does not support segment persistence", f.Name())
+	}
+}
+
+// SaveSegments persists the engine into dir (created if needed): the dataset
+// snapshot, the shard partition, one SEALIDX2 segment per shard, per-shard
+// grid selections for the SEAL method, and the manifest (written last, so a
+// torn save never yields a directory that claims to be complete).
+func (e *Engine) SaveSegments(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	var spec FilterSpec
+	compressed := false
+	for i, s := range e.shards {
+		src, grids, sp, err := segmentSource(s.filter)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			spec = sp
+		}
+		if err := diskidx.WriteSegment(filepath.Join(dir, segName(i)), src, s.ds.Len()); err != nil {
+			return err
+		}
+		if sp.Kind == "seal" {
+			if err := writeGob(filepath.Join(dir, gridsGobName(i)), grids); err != nil {
+				return err
+			}
+		}
+		switch src.(type) {
+		case *invidx.CompressedIndex, *invidx.CompressedDualIndex:
+			compressed = true
+		}
+	}
+
+	df, err := os.Create(filepath.Join(dir, datasetName))
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := e.root.WriteSnapshot(df); err != nil {
+		df.Close()
+		return err
+	}
+	if err := df.Close(); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+
+	parts := make([][]model.ObjectID, len(e.shards))
+	for i, s := range e.shards {
+		parts[i] = s.globalIDs // nil for the single-shard identity mapping
+	}
+	if err := writeGob(filepath.Join(dir, partsName), parts); err != nil {
+		return err
+	}
+
+	m := Manifest{
+		Version:     manifestVersion,
+		Objects:     e.root.Len(),
+		Shards:      len(e.shards),
+		Filter:      spec,
+		Compressed:  compressed,
+		Fingerprint: Fingerprint(e.root),
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	return nil
+}
+
+func writeGob(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(v); err != nil {
+		f.Close()
+		return fmt.Errorf("engine: encoding %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	return nil
+}
+
+func readGob(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewDecoder(f).Decode(v); err != nil {
+		return fmt.Errorf("engine: decoding %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// OpenSegments boots an engine from a segment directory: the dataset is
+// rebuilt from its snapshot, then every shard's postings are memory-mapped.
+func OpenSegments(dir string) (*Engine, error) {
+	df, err := os.Open(filepath.Join(dir, datasetName))
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	root, err := model.ReadSnapshot(df)
+	df.Close()
+	if err != nil {
+		return nil, err
+	}
+	return OpenSegmentsAt(dir, root)
+}
+
+// OpenSegmentsAt boots an engine from dir over an already-loaded dataset,
+// skipping the snapshot read. The manifest's fingerprint must match root.
+func OpenSegmentsAt(dir string, root *model.Dataset) (*Engine, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if m.Objects != root.Len() || m.Fingerprint != Fingerprint(root) {
+		return nil, fmt.Errorf("engine: segment directory %s was built from a different dataset", dir)
+	}
+	var parts [][]model.ObjectID
+	if err := readGob(filepath.Join(dir, partsName), &parts); err != nil {
+		return nil, err
+	}
+	if len(parts) != m.Shards || m.Shards < 1 {
+		return nil, fmt.Errorf("engine: partition file lists %d shards, manifest %d", len(parts), m.Shards)
+	}
+
+	e := &Engine{root: root}
+	ok := false
+	defer func() {
+		if !ok {
+			e.Close()
+		}
+	}()
+	for i := 0; i < m.Shards; i++ {
+		sub := root
+		if parts[i] != nil {
+			sub, err = root.Subset(parts[i])
+			if err != nil {
+				return nil, fmt.Errorf("engine: shard %d: %w", i, err)
+			}
+		} else if m.Shards != 1 {
+			return nil, fmt.Errorf("engine: shard %d missing its partition", i)
+		}
+		seg, err := diskidx.OpenMapped(filepath.Join(dir, segName(i)))
+		if err != nil {
+			return nil, fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+		e.closers = append(e.closers, seg)
+		if seg.Objects() != sub.Len() {
+			return nil, fmt.Errorf("engine: shard %d segment indexes %d objects, dataset shard has %d", i, seg.Objects(), sub.Len())
+		}
+		f, err := openShardFilter(sub, m.Filter, seg, dir, i)
+		if err != nil {
+			return nil, fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+		e.shards = append(e.shards, &shard{ds: sub, filter: f, globalIDs: parts[i], pool: core.NewSearcherPool(sub, f)})
+	}
+	ok = true
+	return e, nil
+}
+
+// openShardFilter wires one shard's mapped segment into the filter the
+// manifest describes.
+func openShardFilter(ds *model.Dataset, spec FilterSpec, seg *diskidx.Segment, dir string, shardIdx int) (core.Filter, error) {
+	wantDual := spec.Kind == "hybrid" || spec.Kind == "seal"
+	if seg.IsDual() != wantDual {
+		return nil, fmt.Errorf("segment bound flavour does not match filter kind %q", spec.Kind)
+	}
+	switch spec.Kind {
+	case "token":
+		return core.OpenTokenFilter(ds, seg.Single()), nil
+	case "grid":
+		return core.OpenGridFilter(ds, spec.P, seg.Single())
+	case "hybrid":
+		return core.OpenHybridHashFilter(ds, spec.P, spec.Buckets, seg.Dual())
+	case "seal":
+		var grids [][]gridtree.NodeID
+		if err := readGob(filepath.Join(dir, gridsGobName(shardIdx)), &grids); err != nil {
+			return nil, err
+		}
+		return core.OpenHierarchicalFilter(ds, core.HierarchicalConfig{MaxLevel: spec.MaxLevel, GridBudget: spec.GridBudget}, grids, seg.Dual())
+	default:
+		return nil, fmt.Errorf("unknown filter kind %q", spec.Kind)
+	}
+}
+
+// Root returns the engine's parent dataset.
+func (e *Engine) Root() *model.Dataset { return e.root }
+
+// Close releases any mapped segments backing the engine's filters. Queries
+// must not be issued after Close. A purely in-memory engine closes to a
+// no-op. Close is idempotent.
+func (e *Engine) Close() error {
+	var first error
+	for _, c := range e.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	e.closers = nil
+	return first
+}

@@ -37,6 +37,7 @@ type TwitterConfig struct {
 	CitySigma  float64 // mean city spread in km (default 15)
 	VocabSize  int     // vocabulary size (default 50000)
 	MeanTokens float64 // mean tokens per object (default 14.3)
+	ZipfS      float64 // token-frequency Zipf exponent, > 1 (default 1.10)
 }
 
 func (c *TwitterConfig) defaults() {
@@ -54,6 +55,9 @@ func (c *TwitterConfig) defaults() {
 	}
 	if c.MeanTokens <= 0 {
 		c.MeanTokens = 14.3
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.10
 	}
 }
 
@@ -79,7 +83,7 @@ func Twitter(cfg TwitterConfig) (*model.Dataset, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	space := geo.Rect{MinX: 0, MinY: 0, MaxX: twitterSide, MaxY: twitterSide}
 	cities := newCityModel(rng, cfg.Cities, space, cfg.CitySigma)
-	tokens := newTokenModel(rng, cfg.VocabSize, 1.10)
+	tokens := newTokenModel(rng, cfg.VocabSize, cfg.ZipfS)
 
 	var b model.Builder
 	for i := 0; i < cfg.N; i++ {
@@ -103,6 +107,7 @@ type USAConfig struct {
 	VocabSize  int     // vocabulary size (default 30000)
 	MeanTokens float64 // mean tokens per object (default 12.5)
 	MeanSide   float64 // mean rectangle side in km (default 2.32 → area ≈ 5.4)
+	ZipfS      float64 // token-frequency Zipf exponent, > 1 (default 1.10)
 }
 
 func (c *USAConfig) defaults() {
@@ -121,6 +126,9 @@ func (c *USAConfig) defaults() {
 	if c.MeanSide <= 0 {
 		c.MeanSide = 2.32
 	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.10
+	}
 }
 
 // USA generates the USA-like dataset: POI centers extended with random
@@ -134,7 +142,7 @@ func USA(cfg USAConfig) (*model.Dataset, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	space := geo.Rect{MinX: 0, MinY: 0, MaxX: usaSide, MaxY: usaSide}
 	cities := newCityModel(rng, cfg.Cities, space, cfg.CitySigma)
-	tokens := newTokenModel(rng, cfg.VocabSize, 1.10)
+	tokens := newTokenModel(rng, cfg.VocabSize, cfg.ZipfS)
 
 	var b model.Builder
 	for i := 0; i < cfg.N; i++ {

@@ -170,6 +170,17 @@ func (c *Counter) AddRegion(r geo.Rect) {
 	}
 }
 
+// AddCount sets count(g) for one cell directly, for callers that already
+// know the counts (e.g. reopening a persisted index whose posting-list
+// lengths are the cell counts). Cells never added keep count 0.
+func (c *Counter) AddCount(id uint32, n uint32) {
+	if c.dense != nil {
+		c.dense[id] += n
+	} else if n > 0 {
+		c.sparse[id] += n
+	}
+}
+
 // Count returns count(g) for the cell.
 func (c *Counter) Count(id uint32) uint32 {
 	if c.dense != nil {

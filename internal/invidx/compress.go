@@ -1,0 +1,701 @@
+package invidx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"slices"
+)
+
+// ErrCorrupt reports that an encoded posting list failed validation. Every
+// decode error wraps it, so callers can errors.Is a probe failure regardless
+// of which invariant the bytes violated.
+var ErrCorrupt = errors.New("invidx: corrupt posting data")
+
+func corrupt(msg string) error { return fmt.Errorf("%w: %s", ErrCorrupt, msg) }
+
+// Compression selects how Compress encodes posting bounds. The zero value is
+// the default, highest-ratio configuration.
+type Compression struct {
+	// ExactBounds preserves every bound bit-for-bit, compressing only the
+	// object IDs (delta-coded varints). The default instead quantizes bounds
+	// to 16-bit ceiling codes: cutoffs loosen by at most one quantization
+	// step, which admits a strict superset of the exact candidate set, and
+	// answers are unchanged because verification is exact. Quantization
+	// roughly halves list size again, so leave this off unless filter
+	// selectivity is being measured.
+	ExactBounds bool
+}
+
+// Per-list encoding discriminator: the first byte of every encoded list.
+// Small lists stay raw — the varint and run framing costs more than it saves
+// below a handful of postings — and the encoder always keeps whichever form
+// is smallest, so a pathological list can never grow past its flat size + 1.
+const (
+	encRaw   byte = iota // fixed-width postings, exactly as the arena stores them
+	encDelta             // zig-zag delta-varint object IDs, raw bound bits
+	encQuant             // equal-bound runs: quantized bound + delta or bitmap objects
+)
+
+// Object containers inside an encQuant run. Runs hold ascending object IDs,
+// so dense runs pack into a roaring-style bitmap while sparse runs stay as
+// delta varints; the encoder picks the smaller per run.
+const (
+	containerDelta  byte = iota // first obj + non-negative varint gaps
+	containerBitmap             // first obj + word count + set bits at obj-first
+)
+
+// quantLevels is the resolution of quantized bounds: codes 0..65535 map to
+// ceil-rounded fractions of the list's maximum bound.
+const quantLevels = 65535
+
+// rawCutoff is the list length below which compression is not attempted.
+const rawCutoff = 4
+
+// quant returns the smallest 16-bit code whose dequantized value is >= b
+// (ceiling quantization). Rounding up is what keeps compressed filtering a
+// superset of exact filtering: a list head selected by Cutoff(c) can only
+// gain postings, never lose one the exact index kept.
+func quant(b, maxB float64) uint16 {
+	if maxB <= 0 || b <= 0 {
+		return 0
+	}
+	q := uint64(math.Ceil(b / maxB * quantLevels))
+	if q > quantLevels {
+		q = quantLevels
+	}
+	for q < quantLevels && dequant(uint16(q), maxB) < b {
+		q++
+	}
+	return uint16(q)
+}
+
+// dequant maps a 16-bit code back to a bound.
+func dequant(q uint16, maxB float64) float64 {
+	return maxB * float64(q) / quantLevels
+}
+
+func rawPostingSize(dual bool) int {
+	if dual {
+		return 4 + 8 + 8
+	}
+	return 4 + 8
+}
+
+// checkBlobRange guards the uint32 blob offsets, mirroring checkOffsetRange.
+func checkBlobRange(n int) {
+	if uint64(n) > math.MaxUint32 {
+		panic(fmt.Sprintf("invidx: compressed blob of %d bytes exceeds 32-bit offsets; shard the dataset", n))
+	}
+}
+
+// objTB pairs one run's object with its quantized textual bound so both
+// reorder together when the run is sorted by object.
+type objTB struct {
+	obj uint32
+	tb  uint16
+}
+
+// listEncoder reuses scratch buffers across the lists of one Compress call.
+type listEncoder struct {
+	buf   []byte
+	pairs []objTB
+	words []uint64
+}
+
+// appendList appends the smallest encoding of one canonical list (bounds
+// descending, ties by ascending object) to dst.
+func (e *listEncoder) appendList(dst []byte, objs []uint32, bounds, tBounds []float64, c Compression) []byte {
+	n := len(objs)
+	if n == 0 {
+		return dst // empty lists encode to zero bytes
+	}
+	rawSize := 1 + rawPostingSize(tBounds != nil)*n
+	if n >= rawCutoff {
+		var cand []byte
+		if !c.ExactBounds && quantizable(bounds, tBounds) {
+			cand = e.encodeQuant(objs, bounds, tBounds)
+		} else {
+			cand = e.encodeDelta(objs, bounds, tBounds)
+		}
+		if len(cand) < rawSize {
+			return append(dst, cand...)
+		}
+	}
+	return appendRawList(dst, objs, bounds, tBounds)
+}
+
+// quantizable reports whether every bound is finite and non-negative — the
+// domain of ceiling quantization. Canonical indexes (suffix weight sums)
+// always qualify; exotic builder inputs fall back to exact delta coding.
+func quantizable(bounds, tBounds []float64) bool {
+	for _, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) || b < 0 {
+			return false
+		}
+	}
+	for _, tb := range tBounds {
+		if math.IsNaN(tb) || math.IsInf(tb, 0) || tb < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func appendRawList(dst []byte, objs []uint32, bounds, tBounds []float64) []byte {
+	dst = append(dst, encRaw)
+	for _, o := range objs {
+		dst = binary.LittleEndian.AppendUint32(dst, o)
+	}
+	for _, b := range bounds {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(b))
+	}
+	for _, tb := range tBounds {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(tb))
+	}
+	return dst
+}
+
+// encodeDelta emits encDelta: object IDs as zig-zag deltas in canonical list
+// order (bound-descending order is not ID-ascending, so gaps can be
+// negative), followed by the raw bound bits.
+func (e *listEncoder) encodeDelta(objs []uint32, bounds, tBounds []float64) []byte {
+	buf := append(e.buf[:0], encDelta)
+	buf = binary.AppendUvarint(buf, uint64(objs[0]))
+	for i := 1; i < len(objs); i++ {
+		buf = binary.AppendVarint(buf, int64(objs[i])-int64(objs[i-1]))
+	}
+	for _, b := range bounds {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b))
+	}
+	for _, tb := range tBounds {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(tb))
+	}
+	e.buf = buf
+	return buf
+}
+
+// encodeQuant emits encQuant: the list's maximum bound(s) as float64 bits,
+// then one run per distinct quantized bound. A run header is the bound code
+// (absolute for the first run, then the strictly positive decrement), the
+// run length, and an object container; dual lists append the run's 16-bit
+// textual codes after the container. Objects within a run are re-sorted
+// ascending — postings with equal quantized bounds are interchangeable under
+// Cutoff, so the decoded list is canonical for its own (coarser) bounds.
+func (e *listEncoder) encodeQuant(objs []uint32, bounds, tBounds []float64) []byte {
+	n := len(objs)
+	dual := tBounds != nil
+	maxB := bounds[0] // canonical lists are bound-descending
+	var maxTB float64
+	for _, tb := range tBounds {
+		if tb > maxTB {
+			maxTB = tb
+		}
+	}
+	buf := append(e.buf[:0], encQuant)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(maxB))
+	if dual {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(maxTB))
+	}
+	prevQ := -1
+	for s := 0; s < n; {
+		q := int(quant(bounds[s], maxB))
+		end := s + 1
+		for end < n && int(quant(bounds[end], maxB)) == q {
+			end++
+		}
+		if prevQ < 0 {
+			buf = binary.AppendUvarint(buf, uint64(q))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(prevQ-q))
+		}
+		prevQ = q
+		buf = binary.AppendUvarint(buf, uint64(end-s))
+		pairs := e.pairs[:0]
+		for i := s; i < end; i++ {
+			var tb uint16
+			if dual {
+				tb = quant(tBounds[i], maxTB)
+			}
+			pairs = append(pairs, objTB{obj: objs[i], tb: tb})
+		}
+		slices.SortFunc(pairs, func(a, b objTB) int {
+			switch {
+			case a.obj < b.obj:
+				return -1
+			case a.obj > b.obj:
+				return 1
+			case a.tb < b.tb:
+				return -1
+			case a.tb > b.tb:
+				return 1
+			default:
+				return 0
+			}
+		})
+		e.pairs = pairs
+		buf = e.appendContainer(buf, pairs)
+		if dual {
+			for _, p := range pairs {
+				buf = binary.LittleEndian.AppendUint16(buf, p.tb)
+			}
+		}
+		s = end
+	}
+	e.buf = buf
+	return buf
+}
+
+// appendContainer appends one run's ascending object IDs as whichever of the
+// two containers is smaller. The bitmap needs strictly ascending IDs
+// (duplicate (key, obj) postings can only come from hand-built indexes, not
+// the canonical filters); runs with duplicates always use deltas.
+func (e *listEncoder) appendContainer(buf []byte, pairs []objTB) []byte {
+	vs := uvarintLen(uint64(pairs[0].obj))
+	strict := true
+	for i := 1; i < len(pairs); i++ {
+		d := pairs[i].obj - pairs[i-1].obj
+		vs += uvarintLen(uint64(d))
+		if d == 0 {
+			strict = false
+		}
+	}
+	if strict {
+		first := pairs[0].obj
+		span := uint64(pairs[len(pairs)-1].obj - first)
+		words := span/64 + 1
+		if bs := uvarintLen(uint64(first)) + uvarintLen(words) + int(words)*8; bs < vs {
+			buf = append(buf, containerBitmap)
+			buf = binary.AppendUvarint(buf, uint64(first))
+			buf = binary.AppendUvarint(buf, words)
+			w := e.words[:0]
+			for i := uint64(0); i < words; i++ {
+				w = append(w, 0)
+			}
+			for _, p := range pairs {
+				off := p.obj - first
+				w[off/64] |= 1 << (off % 64)
+			}
+			e.words = w
+			for _, x := range w {
+				buf = binary.LittleEndian.AppendUint64(buf, x)
+			}
+			return buf
+		}
+	}
+	buf = append(buf, containerDelta)
+	buf = binary.AppendUvarint(buf, uint64(pairs[0].obj))
+	for i := 1; i < len(pairs); i++ {
+		buf = binary.AppendUvarint(buf, uint64(pairs[i].obj-pairs[i-1].obj))
+	}
+	return buf
+}
+
+func uvarintLen(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
+
+// decodeList materializes one encoded list (exactly data, no more, no less)
+// into scr. Every read is bounds-checked and every structural invariant the
+// query path relies on — descending bounds, 32-bit object IDs, exact posting
+// counts, no trailing bytes — is verified, so a corrupt or truncated list
+// returns an error wrapping ErrCorrupt instead of panicking or silently
+// mis-decoding. The hot path allocates nothing once scr has grown.
+func decodeList(data []byte, n int, dual bool, scr *ListScratch) error {
+	// Reject impossible counts before growing the scratch: every encoding
+	// spends at least one bit per posting (the densest case is a bitmap
+	// container, whose words hold one set bit per stored object), so a
+	// payload shorter than n/8 bytes cannot be legitimate. This bounds
+	// decode-time allocation by the payload size rather than by a count
+	// read from an untrusted file.
+	if n > 0 && len(data) < n/8 {
+		return corrupt("posting count exceeds payload capacity")
+	}
+	scr.grow(n, dual)
+	if n == 0 {
+		if len(data) != 0 {
+			return corrupt("trailing bytes after empty list")
+		}
+		return nil
+	}
+	if len(data) == 0 {
+		return corrupt("missing encoding byte")
+	}
+	switch enc, body := data[0], data[1:]; enc {
+	case encRaw:
+		return decodeRaw(body, n, dual, scr)
+	case encDelta:
+		return decodeDelta(body, n, dual, scr)
+	case encQuant:
+		return decodeQuant(body, n, dual, scr)
+	default:
+		return corrupt("unknown encoding byte")
+	}
+}
+
+// decodeBoundsDesc fills out from raw float64 bits, rejecting NaNs and any
+// violation of the descending order Cutoff's binary search depends on.
+func decodeBoundsDesc(b []byte, out []float64) error {
+	for i := range out {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+		if math.IsNaN(v) || (i > 0 && v > out[i-1]) {
+			return corrupt("bounds not descending")
+		}
+		out[i] = v
+	}
+	return nil
+}
+
+func decodeTBounds(b []byte, out []float64) error {
+	for i := range out {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+		if math.IsNaN(v) {
+			return corrupt("NaN textual bound")
+		}
+		out[i] = v
+	}
+	return nil
+}
+
+func decodeRaw(b []byte, n int, dual bool, scr *ListScratch) error {
+	if len(b) != rawPostingSize(dual)*n {
+		return corrupt("raw payload length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		scr.objs[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	b = b[n*4:]
+	if err := decodeBoundsDesc(b[:n*8], scr.bounds); err != nil {
+		return err
+	}
+	if dual {
+		return decodeTBounds(b[n*8:], scr.tBounds)
+	}
+	return nil
+}
+
+func decodeDelta(b []byte, n int, dual bool, scr *ListScratch) error {
+	v, k := binary.Uvarint(b)
+	if k <= 0 || v > math.MaxUint32 {
+		return corrupt("bad first object")
+	}
+	b = b[k:]
+	scr.objs[0] = uint32(v)
+	cur := int64(v)
+	for i := 1; i < n; i++ {
+		d, k := binary.Varint(b)
+		if k <= 0 {
+			return corrupt("bad object delta")
+		}
+		b = b[k:]
+		cur += d
+		if cur < 0 || cur > math.MaxUint32 {
+			return corrupt("object delta out of range")
+		}
+		scr.objs[i] = uint32(cur)
+	}
+	boundBytes := n * 8
+	if dual {
+		boundBytes *= 2
+	}
+	if len(b) != boundBytes {
+		return corrupt("bound payload length mismatch")
+	}
+	if err := decodeBoundsDesc(b[:n*8], scr.bounds); err != nil {
+		return err
+	}
+	if dual {
+		return decodeTBounds(b[n*8:], scr.tBounds)
+	}
+	return nil
+}
+
+func decodeQuant(b []byte, n int, dual bool, scr *ListScratch) error {
+	if len(b) < 8 {
+		return corrupt("truncated max bound")
+	}
+	maxB := math.Float64frombits(binary.LittleEndian.Uint64(b))
+	b = b[8:]
+	if math.IsNaN(maxB) || math.IsInf(maxB, 0) || maxB < 0 {
+		return corrupt("invalid max bound")
+	}
+	var maxTB float64
+	if dual {
+		if len(b) < 8 {
+			return corrupt("truncated max textual bound")
+		}
+		maxTB = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		if math.IsNaN(maxTB) || math.IsInf(maxTB, 0) || maxTB < 0 {
+			return corrupt("invalid max textual bound")
+		}
+	}
+	filled := 0
+	prevQ := -1
+	for filled < n {
+		var q int
+		if prevQ < 0 {
+			v, k := binary.Uvarint(b)
+			if k <= 0 || v > quantLevels {
+				return corrupt("bad first bound code")
+			}
+			b = b[k:]
+			q = int(v)
+		} else {
+			// Codes are strictly decreasing across runs, which is what makes
+			// the decoded bounds valid input for cutoffDesc.
+			dv, k := binary.Uvarint(b)
+			if k <= 0 || dv == 0 || int64(dv) > int64(prevQ) {
+				return corrupt("bad bound code decrement")
+			}
+			b = b[k:]
+			q = prevQ - int(dv)
+		}
+		prevQ = q
+		rl, k := binary.Uvarint(b)
+		if k <= 0 || rl == 0 || rl > uint64(n-filled) {
+			return corrupt("bad run length")
+		}
+		b = b[k:]
+		runLen := int(rl)
+		if len(b) == 0 {
+			return corrupt("missing container byte")
+		}
+		cont := b[0]
+		b = b[1:]
+		objs := scr.objs[filled : filled+runLen]
+		switch cont {
+		case containerDelta:
+			v, k := binary.Uvarint(b)
+			if k <= 0 || v > math.MaxUint32 {
+				return corrupt("bad run first object")
+			}
+			b = b[k:]
+			objs[0] = uint32(v)
+			cur := v
+			for i := 1; i < runLen; i++ {
+				d, k := binary.Uvarint(b)
+				if k <= 0 {
+					return corrupt("bad run object gap")
+				}
+				b = b[k:]
+				cur += d
+				if cur > math.MaxUint32 {
+					return corrupt("run object out of range")
+				}
+				objs[i] = uint32(cur)
+			}
+		case containerBitmap:
+			first, k := binary.Uvarint(b)
+			if k <= 0 || first > math.MaxUint32 {
+				return corrupt("bad bitmap base object")
+			}
+			b = b[k:]
+			words, k := binary.Uvarint(b)
+			if k <= 0 || words == 0 {
+				return corrupt("bad bitmap word count")
+			}
+			b = b[k:]
+			if words > uint64(len(b))/8 {
+				return corrupt("bitmap words exceed payload")
+			}
+			got := 0
+			for w := uint64(0); w < words; w++ {
+				word := binary.LittleEndian.Uint64(b[w*8:])
+				base := first + w*64
+				for word != 0 {
+					tz := bits.TrailingZeros64(word)
+					word &^= 1 << tz
+					obj := base + uint64(tz)
+					if obj > math.MaxUint32 {
+						return corrupt("bitmap object out of range")
+					}
+					if got == runLen {
+						return corrupt("bitmap popcount exceeds run length")
+					}
+					objs[got] = uint32(obj)
+					got++
+				}
+			}
+			b = b[words*8:]
+			if got != runLen {
+				return corrupt("bitmap popcount below run length")
+			}
+		default:
+			return corrupt("unknown container byte")
+		}
+		bound := dequant(uint16(q), maxB)
+		for i := filled; i < filled+runLen; i++ {
+			scr.bounds[i] = bound
+		}
+		if dual {
+			if len(b) < runLen*2 {
+				return corrupt("truncated textual codes")
+			}
+			for i := 0; i < runLen; i++ {
+				scr.tBounds[filled+i] = dequant(binary.LittleEndian.Uint16(b[i*2:]), maxTB)
+			}
+			b = b[runLen*2:]
+		}
+		filled += runLen
+	}
+	if len(b) != 0 {
+		return corrupt("trailing bytes after last run")
+	}
+	return nil
+}
+
+// CompressedIndex is the compressed counterpart of Index: the same key table
+// and directory over a byte blob of per-list encodings. Probes decode into a
+// caller-supplied ListScratch, so steady-state querying allocates nothing;
+// the decoded view is valid until the next probe with the same scratch.
+type CompressedIndex struct {
+	keys     []uint64
+	table    keyTable
+	offs     []uint32 // len(keys)+1; list i's encoding spans blob[offs[i]:offs[i+1]]
+	counts   []uint32 // postings per list
+	blob     []byte
+	postings int
+}
+
+// Compress re-encodes a flat index. The source index is unchanged and shares
+// its (immutable) key table with the result. Bounds must not be NaN — true
+// of every canonically built index.
+func Compress(ix *Index, c Compression) *CompressedIndex {
+	out := &CompressedIndex{
+		keys:     ix.keys,
+		table:    ix.table,
+		offs:     make([]uint32, 1, len(ix.keys)+1),
+		counts:   make([]uint32, 0, len(ix.keys)),
+		postings: len(ix.objs),
+	}
+	var e listEncoder
+	for i := range ix.keys {
+		lo, hi := ix.starts[i], ix.starts[i+1]
+		out.blob = e.appendList(out.blob, ix.objs[lo:hi], ix.bounds[lo:hi], nil, c)
+		checkBlobRange(len(out.blob))
+		out.offs = append(out.offs, uint32(len(out.blob)))
+		out.counts = append(out.counts, hi-lo)
+	}
+	return out
+}
+
+// Probe decodes the list of key into scr (a nil scr allocates a throwaway
+// buffer, for non-hot callers). Absent keys yield an empty list and nil
+// error; corrupt encodings yield an error wrapping ErrCorrupt.
+func (ix *CompressedIndex) Probe(key uint64, scr *ListScratch) (List, error) {
+	i := ix.table.find(ix.keys, key)
+	if i < 0 {
+		return List{}, nil
+	}
+	if scr == nil {
+		scr = new(ListScratch)
+	}
+	n := int(ix.counts[i])
+	if err := decodeList(ix.blob[ix.offs[i]:ix.offs[i+1]], n, false, scr); err != nil {
+		return List{}, fmt.Errorf("invidx: list %#x: %w", key, err)
+	}
+	return List{objs: scr.objs[:n], bounds: scr.bounds[:n]}, nil
+}
+
+// Lists returns the number of lists.
+func (ix *CompressedIndex) Lists() int { return len(ix.keys) }
+
+// Postings returns the total number of postings.
+func (ix *CompressedIndex) Postings() int { return ix.postings }
+
+// SizeBytes reports the compressed footprint: the blob plus keys, offsets,
+// counts, and the hash directory.
+func (ix *CompressedIndex) SizeBytes() int64 {
+	return int64(len(ix.blob)) + int64(len(ix.keys))*8 +
+		int64(len(ix.offs))*4 + int64(len(ix.counts))*4 + ix.table.sizeBytes()
+}
+
+// Range decodes every list in ascending key order, stopping early if fn
+// returns false or a list fails validation.
+func (ix *CompressedIndex) Range(fn func(key uint64, l List) bool) error {
+	var scr ListScratch
+	for i, k := range ix.keys {
+		n := int(ix.counts[i])
+		if err := decodeList(ix.blob[ix.offs[i]:ix.offs[i+1]], n, false, &scr); err != nil {
+			return fmt.Errorf("invidx: list %#x: %w", k, err)
+		}
+		if !fn(k, List{objs: scr.objs[:n], bounds: scr.bounds[:n]}) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// CompressedDualIndex is the compressed counterpart of DualIndex.
+type CompressedDualIndex struct {
+	keys     []uint64
+	table    keyTable
+	offs     []uint32
+	counts   []uint32
+	blob     []byte
+	postings int
+}
+
+// CompressDual re-encodes a flat dual index; see Compress.
+func CompressDual(ix *DualIndex, c Compression) *CompressedDualIndex {
+	out := &CompressedDualIndex{
+		keys:     ix.keys,
+		table:    ix.table,
+		offs:     make([]uint32, 1, len(ix.keys)+1),
+		counts:   make([]uint32, 0, len(ix.keys)),
+		postings: len(ix.objs),
+	}
+	var e listEncoder
+	for i := range ix.keys {
+		lo, hi := ix.starts[i], ix.starts[i+1]
+		out.blob = e.appendList(out.blob, ix.objs[lo:hi], ix.rBounds[lo:hi], ix.tBounds[lo:hi], c)
+		checkBlobRange(len(out.blob))
+		out.offs = append(out.offs, uint32(len(out.blob)))
+		out.counts = append(out.counts, hi-lo)
+	}
+	return out
+}
+
+// ProbeDual decodes the dual list of key into scr; see Probe.
+func (ix *CompressedDualIndex) ProbeDual(key uint64, scr *ListScratch) (DualList, error) {
+	i := ix.table.find(ix.keys, key)
+	if i < 0 {
+		return DualList{}, nil
+	}
+	if scr == nil {
+		scr = new(ListScratch)
+	}
+	n := int(ix.counts[i])
+	if err := decodeList(ix.blob[ix.offs[i]:ix.offs[i+1]], n, true, scr); err != nil {
+		return DualList{}, fmt.Errorf("invidx: dual list %#x: %w", key, err)
+	}
+	return DualList{objs: scr.objs[:n], rBounds: scr.bounds[:n], tBounds: scr.tBounds[:n]}, nil
+}
+
+// Lists returns the number of lists.
+func (ix *CompressedDualIndex) Lists() int { return len(ix.keys) }
+
+// Postings returns the total number of postings.
+func (ix *CompressedDualIndex) Postings() int { return ix.postings }
+
+// SizeBytes reports the compressed footprint.
+func (ix *CompressedDualIndex) SizeBytes() int64 {
+	return int64(len(ix.blob)) + int64(len(ix.keys))*8 +
+		int64(len(ix.offs))*4 + int64(len(ix.counts))*4 + ix.table.sizeBytes()
+}
+
+// Range decodes every dual list in ascending key order.
+func (ix *CompressedDualIndex) Range(fn func(key uint64, l DualList) bool) error {
+	var scr ListScratch
+	for i, k := range ix.keys {
+		n := int(ix.counts[i])
+		if err := decodeList(ix.blob[ix.offs[i]:ix.offs[i+1]], n, true, &scr); err != nil {
+			return fmt.Errorf("invidx: dual list %#x: %w", k, err)
+		}
+		if !fn(k, DualList{objs: scr.objs[:n], rBounds: scr.bounds[:n], tBounds: scr.tBounds[:n]}) {
+			return nil
+		}
+	}
+	return nil
+}

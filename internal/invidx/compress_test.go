@@ -1,0 +1,381 @@
+package invidx
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildRandom returns a canonical index with nLists lists of up to maxLen
+// postings each: unique objects per list, bounds drawn from a few magnitudes
+// so runs of equal quantized bounds and long sparse tails both occur.
+func buildRandom(rng *rand.Rand, nLists, maxLen, objects int) *Index {
+	var b Builder
+	for k := 0; k < nLists; k++ {
+		key := rng.Uint64()
+		n := 1 + rng.Intn(maxLen)
+		seen := make(map[uint32]bool, n)
+		for i := 0; i < n; i++ {
+			obj := uint32(rng.Intn(objects))
+			if seen[obj] {
+				continue
+			}
+			seen[obj] = true
+			bound := math.Trunc(rng.Float64()*64) / 8 // coarse grid → equal-bound runs
+			if rng.Intn(4) == 0 {
+				bound = rng.Float64() * 8 // plus fully distinct bounds
+			}
+			b.Add(key, obj, bound)
+		}
+	}
+	return b.Build()
+}
+
+func buildRandomDual(rng *rand.Rand, nLists, maxLen, objects int) *DualIndex {
+	var b DualBuilder
+	for k := 0; k < nLists; k++ {
+		key := rng.Uint64()
+		n := 1 + rng.Intn(maxLen)
+		for i := 0; i < n; i++ {
+			rb := math.Trunc(rng.Float64()*64) / 8
+			b.Add(key, uint32(rng.Intn(objects)), rb, rng.Float64()*2)
+		}
+	}
+	return b.Build()
+}
+
+// maxBoundByObj collapses a list to obj → max bound, the quantity the
+// superset property is stated over.
+func maxBoundByObj(objs []uint32, bounds []float64) map[uint32]float64 {
+	m := make(map[uint32]float64, len(objs))
+	for i, o := range objs {
+		if b, ok := m[o]; !ok || bounds[i] > b {
+			m[o] = bounds[i]
+		}
+	}
+	return m
+}
+
+func TestCompressExactRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ix := buildRandom(rng, 50, 200, 1000)
+	cx := Compress(ix, Compression{ExactBounds: true})
+	if cx.Lists() != ix.Lists() || cx.Postings() != ix.Postings() {
+		t.Fatalf("lists/postings mismatch: %d/%d vs %d/%d", cx.Lists(), cx.Postings(), ix.Lists(), ix.Postings())
+	}
+	var scr ListScratch
+	ix.Range(func(key uint64, want List) bool {
+		got, err := cx.Probe(key, &scr)
+		if err != nil {
+			t.Fatalf("probe %#x: %v", key, err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("list %#x: len %d, want %d", key, got.Len(), want.Len())
+		}
+		for i := 0; i < want.Len(); i++ {
+			if got.Obj(i) != want.Obj(i) || got.Bound(i) != want.Bound(i) {
+				t.Fatalf("list %#x posting %d: (%d,%v), want (%d,%v)",
+					key, i, got.Obj(i), got.Bound(i), want.Obj(i), want.Bound(i))
+			}
+		}
+		return true
+	})
+}
+
+// TestCompressQuantSuperset checks the ceiling-quantization contract: the
+// decoded list holds the same objects, each with a bound >= its exact bound,
+// in valid canonical order — so any Cutoff head over the compressed list is
+// a superset of the exact head and verification keeps answers identical.
+func TestCompressQuantSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ix := buildRandom(rng, 50, 300, 2000)
+	cx := Compress(ix, Compression{})
+	var scr ListScratch
+	ix.Range(func(key uint64, want List) bool {
+		got, err := cx.Probe(key, &scr)
+		if err != nil {
+			t.Fatalf("probe %#x: %v", key, err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("list %#x: len %d, want %d", key, got.Len(), want.Len())
+		}
+		for i := 1; i < got.Len(); i++ {
+			if got.Bound(i) > got.Bound(i-1) {
+				t.Fatalf("list %#x: decoded bounds not descending at %d", key, i)
+			}
+		}
+		exact := maxBoundByObj(want.objs, want.bounds)
+		dec := maxBoundByObj(got.objs, got.bounds)
+		if len(dec) != len(exact) {
+			t.Fatalf("list %#x: object sets differ (%d vs %d)", key, len(dec), len(exact))
+		}
+		for o, b := range exact {
+			db, ok := dec[o]
+			if !ok {
+				t.Fatalf("list %#x: object %d lost", key, o)
+			}
+			if db < b {
+				t.Fatalf("list %#x object %d: decoded bound %v below exact %v", key, o, db, b)
+			}
+		}
+		return true
+	})
+}
+
+func TestCompressDualQuantSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ix := buildRandomDual(rng, 40, 250, 1500)
+	cx := CompressDual(ix, Compression{})
+	var scr ListScratch
+	ix.Range(func(key uint64, want DualList) bool {
+		got, err := cx.ProbeDual(key, &scr)
+		if err != nil {
+			t.Fatalf("probe %#x: %v", key, err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("list %#x: len %d, want %d", key, got.Len(), want.Len())
+		}
+		exactR := maxBoundByObj(want.objs, want.rBounds)
+		exactT := maxBoundByObj(want.objs, want.tBounds)
+		decR := maxBoundByObj(got.objs, got.rBounds)
+		decT := maxBoundByObj(got.objs, got.tBounds)
+		for o, b := range exactR {
+			if decR[o] < b {
+				t.Fatalf("list %#x object %d: spatial bound %v below exact %v", key, o, decR[o], b)
+			}
+			if decT[o] < exactT[o] {
+				t.Fatalf("list %#x object %d: textual bound %v below exact %v", key, o, decT[o], exactT[o])
+			}
+		}
+		return true
+	})
+}
+
+func TestCompressedSmaller(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ix := buildRandom(rng, 80, 400, 4000)
+	quant := Compress(ix, Compression{}).SizeBytes()
+	exact := Compress(ix, Compression{ExactBounds: true}).SizeBytes()
+	flat := ix.SizeBytes()
+	if quant >= flat || exact > flat {
+		t.Fatalf("compression grew the index: quant %d, exact %d, flat %d", quant, exact, flat)
+	}
+	if float64(quant) > 0.7*float64(flat) {
+		t.Fatalf("quantized size %d not under 70%% of flat %d", quant, flat)
+	}
+}
+
+func TestCompressedProbeZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	rng := rand.New(rand.NewSource(5))
+	ix := buildRandom(rng, 30, 200, 1000)
+	cx := Compress(ix, Compression{})
+	keys := append([]uint64(nil), ix.keys...)
+	var scr ListScratch
+	for _, k := range keys { // warm the scratch to the longest list
+		if _, err := cx.Probe(k, &scr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, k := range keys {
+			l, err := cx.Probe(k, &scr)
+			if err != nil || l.Len() == 0 {
+				t.Fatal("probe failed")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("compressed probes allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestArenasRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ix := buildRandom(rng, 40, 100, 800)
+	back, err := FromArenas(ix.Arenas(), 800)
+	if err != nil {
+		t.Fatalf("FromArenas: %v", err)
+	}
+	ix.Range(func(key uint64, want List) bool {
+		got := back.List(key)
+		if got.Len() != want.Len() {
+			t.Fatalf("list %#x: len %d, want %d", key, got.Len(), want.Len())
+		}
+		return true
+	})
+
+	dx := buildRandomDual(rng, 30, 100, 800)
+	dback, err := DualFromArenas(dx.Arenas(), 800)
+	if err != nil {
+		t.Fatalf("DualFromArenas: %v", err)
+	}
+	if dback.Postings() != dx.Postings() {
+		t.Fatalf("dual postings %d, want %d", dback.Postings(), dx.Postings())
+	}
+
+	cx := Compress(ix, Compression{})
+	cback, err := CompressedFromArenas(cx.Arenas(), cx.Postings(), 800)
+	if err != nil {
+		t.Fatalf("CompressedFromArenas: %v", err)
+	}
+	if cback.Postings() != cx.Postings() || cback.Lists() != cx.Lists() {
+		t.Fatal("compressed arena round trip changed shape")
+	}
+
+	cdx := CompressDual(dx, Compression{ExactBounds: true})
+	if _, err := CompressedDualFromArenas(cdx.Arenas(), cdx.Postings(), 800); err != nil {
+		t.Fatalf("CompressedDualFromArenas: %v", err)
+	}
+}
+
+func TestFromArenasRejectsCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ix := buildRandom(rng, 20, 50, 400)
+	base := ix.Arenas()
+	clone := func() RawArenas {
+		return RawArenas{
+			Keys:   append([]uint64(nil), base.Keys...),
+			Starts: append([]uint32(nil), base.Starts...),
+			Objs:   append([]uint32(nil), base.Objs...),
+			Bounds: append([]float64(nil), base.Bounds...),
+			Slots:  append([]uint32(nil), base.Slots...),
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*RawArenas)
+		objects int
+	}{
+		{"object out of range", func(a *RawArenas) {}, 1},
+		{"keys unsorted", func(a *RawArenas) { a.Keys[0], a.Keys[1] = a.Keys[1], a.Keys[0] }, 400},
+		{"starts truncated", func(a *RawArenas) { a.Starts = a.Starts[:len(a.Starts)-1] }, 400},
+		{"starts overflow", func(a *RawArenas) { a.Starts[len(a.Starts)-1]++ }, 400},
+		{"bounds ascending", func(a *RawArenas) {
+			// Flip the first multi-posting list's head order.
+			for i := 0; i < len(a.Starts)-1; i++ {
+				if a.Starts[i+1]-a.Starts[i] >= 2 {
+					a.Bounds[a.Starts[i]] = a.Bounds[a.Starts[i]+1] - 1
+					return
+				}
+			}
+			panic("no multi-posting list in fixture")
+		}, 400},
+		{"NaN bound", func(a *RawArenas) { a.Bounds[0] = math.NaN() }, 400},
+		{"directory truncated", func(a *RawArenas) { a.Slots = a.Slots[:len(a.Slots)/2] }, 400},
+		{"directory zeroed", func(a *RawArenas) {
+			for i := range a.Slots {
+				a.Slots[i] = 0
+			}
+		}, 400},
+		{"directory out of range", func(a *RawArenas) {
+			for i := range a.Slots {
+				if a.Slots[i] != 0 {
+					a.Slots[i] = uint32(len(a.Keys)) + 5
+					return
+				}
+			}
+		}, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := clone()
+			tc.mutate(&a)
+			if _, err := FromArenas(a, tc.objects); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("FromArenas accepted %s (err=%v)", tc.name, err)
+			}
+		})
+	}
+}
+
+func TestCompressedFromArenasRejectsCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cx := Compress(buildRandom(rng, 20, 50, 400), Compression{})
+	base := cx.Arenas()
+	clone := func() CompressedArenas {
+		return CompressedArenas{
+			Keys:   append([]uint64(nil), base.Keys...),
+			Offs:   append([]uint32(nil), base.Offs...),
+			Counts: append([]uint32(nil), base.Counts...),
+			Blob:   append([]byte(nil), base.Blob...),
+			Slots:  append([]uint32(nil), base.Slots...),
+		}
+	}
+	cases := []struct {
+		name     string
+		mutate   func(*CompressedArenas)
+		postings int
+	}{
+		{"posting total lies high", func(a *CompressedArenas) {}, cx.Postings() + 1},
+		{"posting total lies low", func(a *CompressedArenas) {}, cx.Postings() - 1},
+		{"blob truncated", func(a *CompressedArenas) {
+			a.Blob = a.Blob[:len(a.Blob)-1]
+			a.Offs[len(a.Offs)-1]--
+		}, cx.Postings()},
+		{"count inflated", func(a *CompressedArenas) { a.Counts[0] += 7 }, cx.Postings() + 7},
+		{"encoding byte clobbered", func(a *CompressedArenas) { a.Blob[0] = 0xff }, cx.Postings()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := clone()
+			tc.mutate(&a)
+			if _, err := CompressedFromArenas(a, tc.postings, 400); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("CompressedFromArenas accepted %s (err=%v)", tc.name, err)
+			}
+		})
+	}
+}
+
+// FuzzDecodeList is the satellite fuzz target: arbitrary bytes fed to the
+// compressed-list decoder must either decode cleanly — with every invariant
+// the query path relies on actually holding — or fail with ErrCorrupt.
+// Panics and silent mis-decodes are the bugs being hunted.
+func FuzzDecodeList(f *testing.F) {
+	// Seed with genuine encoder output at every encoding, plus mutations.
+	rng := rand.New(rand.NewSource(9))
+	ix := buildRandom(rng, 8, 60, 500)
+	cx := Compress(ix, Compression{})
+	ex := Compress(ix, Compression{ExactBounds: true})
+	dx := CompressDual(buildRandomDual(rng, 6, 60, 500), Compression{})
+	seed := func(a CompressedArenas, dual bool) {
+		for i := 0; i+1 < len(a.Offs); i++ {
+			f.Add(a.Blob[a.Offs[i]:a.Offs[i+1]], a.Counts[i], dual)
+		}
+	}
+	seed(cx.Arenas(), false)
+	seed(ex.Arenas(), false)
+	seed(dx.Arenas(), true)
+	f.Add([]byte{encQuant}, uint32(3), false)
+	f.Add([]byte{encRaw, 1, 2, 3}, uint32(1), true)
+
+	f.Fuzz(func(t *testing.T, data []byte, n uint32, dual bool) {
+		if n > 1<<16 { // keep scratch growth sane for the fuzz engine
+			t.Skip()
+		}
+		var scr ListScratch
+		err := decodeList(data, int(n), dual, &scr)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		if len(scr.objs) != int(n) || len(scr.bounds) != int(n) {
+			t.Fatalf("clean decode produced %d objs / %d bounds, want %d", len(scr.objs), len(scr.bounds), n)
+		}
+		if dual && len(scr.tBounds) != int(n) {
+			t.Fatalf("clean dual decode produced %d textual bounds, want %d", len(scr.tBounds), n)
+		}
+		for i := 0; i < int(n); i++ {
+			if math.IsNaN(scr.bounds[i]) || (i > 0 && scr.bounds[i] > scr.bounds[i-1]) {
+				t.Fatalf("clean decode produced non-descending bounds at %d", i)
+			}
+			if dual && math.IsNaN(scr.tBounds[i]) {
+				t.Fatalf("clean dual decode produced NaN textual bound at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package invidx
+
+// ListScratch is the reusable decode buffer for compressed posting lists.
+// A probe against a compressed or memory-mapped index materializes the list
+// into these slices; a probe against a flat in-memory index ignores it and
+// returns a zero-copy arena view. Each Searcher owns one (inside
+// core.Scratch), so steady-state decoding allocates nothing once the buffers
+// have grown to the longest list probed.
+type ListScratch struct {
+	objs    []uint32
+	bounds  []float64
+	tBounds []float64
+}
+
+// grow resizes the scratch to hold n postings (dual adds the textual-bound
+// lane) without shrinking capacity.
+func (s *ListScratch) grow(n int, dual bool) {
+	if cap(s.objs) < n {
+		s.objs = make([]uint32, n)
+		s.bounds = make([]float64, n)
+	}
+	s.objs = s.objs[:n]
+	s.bounds = s.bounds[:n]
+	if dual {
+		if cap(s.tBounds) < n {
+			s.tBounds = make([]float64, n)
+		}
+		s.tBounds = s.tBounds[:n]
+	} else {
+		s.tBounds = s.tBounds[:0]
+	}
+}
+
+// Source is a read view over single-bound posting lists: the flat in-memory
+// Index, its compressed form, and the mmap-backed segment views all satisfy
+// it, so the signature filters probe storage without knowing the layout.
+//
+// Probe returns the list of key (empty for absent keys) valid until the next
+// Probe with the same scratch. Layouts that must decode report corruption as
+// an error wrapping ErrCorrupt; the flat layouts never fail.
+type Source interface {
+	Probe(key uint64, scr *ListScratch) (List, error)
+	Lists() int
+	Postings() int
+	SizeBytes() int64
+}
+
+// DualSource is Source for dual-bound (hybrid) posting lists.
+type DualSource interface {
+	ProbeDual(key uint64, scr *ListScratch) (DualList, error)
+	Lists() int
+	Postings() int
+	SizeBytes() int64
+}
+
+// LengthRanger is the optional fast path over Source: enumerate every
+// (key, posting count) pair in ascending key order without touching posting
+// data. All four index layouts implement it; consumers that can derive
+// state from list lengths alone (e.g. the grid filter's cell counter, whose
+// count(g) is exactly cell g's posting count) type-assert for it and fall
+// back to recomputation otherwise.
+type LengthRanger interface {
+	EachLen(fn func(key uint64, n int))
+}
+
+// EachLen reports every list's key and length from the start offsets.
+func (ix *Index) EachLen(fn func(key uint64, n int)) {
+	for i, k := range ix.keys {
+		fn(k, int(ix.starts[i+1]-ix.starts[i]))
+	}
+}
+
+// EachLen reports every list's key and length from the start offsets.
+func (ix *DualIndex) EachLen(fn func(key uint64, n int)) {
+	for i, k := range ix.keys {
+		fn(k, int(ix.starts[i+1]-ix.starts[i]))
+	}
+}
+
+// EachLen reports every list's key and length from the stored counts,
+// without decoding.
+func (ix *CompressedIndex) EachLen(fn func(key uint64, n int)) {
+	for i, k := range ix.keys {
+		fn(k, int(ix.counts[i]))
+	}
+}
+
+// EachLen reports every list's key and length from the stored counts,
+// without decoding.
+func (ix *CompressedDualIndex) EachLen(fn func(key uint64, n int)) {
+	for i, k := range ix.keys {
+		fn(k, int(ix.counts[i]))
+	}
+}
+
+// Probe returns a zero-copy arena view; scr is unused and the error is
+// always nil.
+func (ix *Index) Probe(key uint64, _ *ListScratch) (List, error) {
+	return ix.List(key), nil
+}
+
+// ProbeDual returns a zero-copy arena view; scr is unused and the error is
+// always nil.
+func (ix *DualIndex) ProbeDual(key uint64, _ *ListScratch) (DualList, error) {
+	return ix.List(key), nil
+}

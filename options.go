@@ -68,6 +68,8 @@ type options struct {
 	autoGranularity  []Query
 	autoMaxLevel     int
 	autoBenefit      float64
+	compression      Compression
+	segmentDir       string
 }
 
 func defaultOptions() options {

@@ -14,6 +14,7 @@ import (
 	"github.com/sealdb/seal/internal/engine"
 	"github.com/sealdb/seal/internal/geo"
 	"github.com/sealdb/seal/internal/gridsig"
+	"github.com/sealdb/seal/internal/invidx"
 	"github.com/sealdb/seal/internal/irtree"
 	"github.com/sealdb/seal/internal/model"
 	"github.com/sealdb/seal/internal/text"
@@ -83,6 +84,13 @@ type IndexStats struct {
 	Shards     int
 	IndexBytes int64
 	BuildTime  time.Duration
+	// Mapped reports that posting lists are served from mmap-ed sealed
+	// segments (the index was opened from a segment directory) rather than
+	// rebuilt in memory.
+	Mapped bool
+	// Compressed reports that posting lists use the delta/quantized
+	// encoding instead of the flat fixed-width arena.
+	Compressed bool
 }
 
 // ErrEmptyIndex is returned by Build when no objects are supplied.
@@ -153,6 +161,33 @@ func Build(objects []Object, opts ...Option) (*Index, error) {
 		}
 	}
 
+	if cfg.segmentDir != "" {
+		if _, ok := segmentSpec(cfg); !ok {
+			return nil, fmt.Errorf("seal: WithSegmentDir does not support method %q (no posting lists to persist)", methodName(cfg.method))
+		}
+		// A matching segment directory replaces the whole build with an
+		// mmap; anything stale, corrupt, or differently configured falls
+		// through to a rebuild that overwrites it.
+		if man, err := engine.ReadManifest(cfg.segmentDir); err == nil && manifestMatches(man, cfg, ds.Len()) {
+			if eng, err := engine.OpenSegmentsAt(cfg.segmentDir, ds); err == nil {
+				return &Index{
+					ds:  ds,
+					eng: eng,
+					stats: IndexStats{
+						Objects:    ds.Len(),
+						Vocabulary: ds.Vocab().Len(),
+						Method:     eng.FilterName(),
+						Shards:     eng.Shards(),
+						IndexBytes: eng.SizeBytes(),
+						BuildTime:  time.Since(start),
+						Mapped:     true,
+						Compressed: man.Compressed,
+					},
+				}, nil
+			}
+		}
+	}
+
 	eng, err := engine.Build(ds, engine.Config{
 		Shards:           cfg.shards,
 		BuildParallelism: cfg.buildParallelism,
@@ -160,6 +195,11 @@ func Build(objects []Object, opts ...Option) (*Index, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.segmentDir != "" {
+		if err := eng.SaveSegments(cfg.segmentDir); err != nil {
+			return nil, err
+		}
 	}
 	return &Index{
 		ds:  ds,
@@ -171,11 +211,27 @@ func Build(objects []Object, opts ...Option) (*Index, error) {
 			Shards:     eng.Shards(),
 			IndexBytes: eng.SizeBytes(),
 			BuildTime:  time.Since(start),
+			Compressed: compressedStats(cfg),
 		},
 	}, nil
 }
 
 func buildFilter(ds *model.Dataset, cfg options) (core.Filter, error) {
+	f, err := newFilter(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.compression != CompressionNone {
+		// Only the signature filters hold posting lists; the knob is a
+		// no-op for baselines.
+		if c, ok := f.(interface{ CompressPostings(invidx.Compression) }); ok {
+			c.CompressPostings(invidxCompression(cfg.compression))
+		}
+	}
+	return f, nil
+}
+
+func newFilter(ds *model.Dataset, cfg options) (core.Filter, error) {
 	switch cfg.method {
 	case MethodSeal:
 		return core.NewHierarchicalFilter(ds, core.HierarchicalConfig{
@@ -198,6 +254,30 @@ func buildFilter(ds *model.Dataset, cfg options) (core.Filter, error) {
 		return baseline.NewScan(ds), nil
 	default:
 		return nil, fmt.Errorf("seal: unknown method %d", cfg.method)
+	}
+}
+
+// methodName names a Method for error messages.
+func methodName(m Method) string {
+	switch m {
+	case MethodSeal:
+		return "seal"
+	case MethodTokenFilter:
+		return "token-filter"
+	case MethodGridFilter:
+		return "grid-filter"
+	case MethodHybridHash:
+		return "hybrid-hash"
+	case MethodKeywordFirst:
+		return "keyword-first"
+	case MethodSpatialFirst:
+		return "spatial-first"
+	case MethodIRTree:
+		return "ir-tree"
+	case MethodScan:
+		return "scan"
+	default:
+		return fmt.Sprintf("method-%d", int(m))
 	}
 }
 

@@ -1,0 +1,146 @@
+package seal
+
+// Storage controls: posting-list compression and mmap-backed sealed
+// segments. See the "Storage" section of the package documentation for the
+// format and the boot flow.
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sealdb/seal/internal/engine"
+	"github.com/sealdb/seal/internal/invidx"
+)
+
+// Compression selects the posting-list storage layout for the signature
+// methods (MethodSeal, MethodTokenFilter, MethodGridFilter,
+// MethodHybridHash). Every setting returns bit-identical query answers; the
+// quantized layout trades per-posting bound precision for size, which can
+// only admit extra candidates that exact verification then rejects.
+type Compression int
+
+const (
+	// CompressionNone keeps the flat fixed-width arena. Default.
+	CompressionNone Compression = iota
+	// CompressionQuantized delta-encodes object IDs and quantizes pruning
+	// bounds to 16 bits (rounding up, so filtering stays a superset and
+	// answers are unchanged). Smallest; the recommended setting.
+	CompressionQuantized
+	// CompressionExact delta-encodes object IDs but keeps full float64
+	// bounds, for workloads that want byte-exact pruning cutoffs on disk.
+	CompressionExact
+)
+
+// WithCompression re-encodes posting lists after the index is built. It has
+// no effect on the baseline methods, which keep no posting lists. The
+// default is CompressionNone.
+func WithCompression(c Compression) Option {
+	return func(o *options) { o.compression = c }
+}
+
+// WithSegmentDir persists the index into dir as mmap-able sealed segments.
+// When dir already holds segments built from the same objects and the same
+// configuration, Build maps them instead of rebuilding — turning index boot
+// into a page-table operation — and otherwise it builds in memory and
+// (over)writes dir. Only the signature methods support segment persistence;
+// Build fails for baselines. See also Open, which boots purely from a
+// segment directory.
+func WithSegmentDir(dir string) Option {
+	return func(o *options) { o.segmentDir = dir }
+}
+
+// invidxCompression translates the public knob.
+func invidxCompression(c Compression) invidx.Compression {
+	return invidx.Compression{ExactBounds: c == CompressionExact}
+}
+
+// segmentSpec maps the configured method to the manifest's filter spec;
+// ok is false for methods without segment support.
+func segmentSpec(cfg options) (engine.FilterSpec, bool) {
+	switch cfg.method {
+	case MethodSeal:
+		return engine.FilterSpec{Kind: "seal", MaxLevel: cfg.maxLevel, GridBudget: cfg.gridBudget}, true
+	case MethodTokenFilter:
+		return engine.FilterSpec{Kind: "token"}, true
+	case MethodGridFilter:
+		return engine.FilterSpec{Kind: "grid", P: cfg.granularity}, true
+	case MethodHybridHash:
+		b := cfg.hashBuckets
+		if b < 0 {
+			b = 0
+		}
+		return engine.FilterSpec{Kind: "hybrid", P: cfg.granularity, Buckets: b}, true
+	default:
+		return engine.FilterSpec{}, false
+	}
+}
+
+// effectiveShards mirrors the engine's shard-count clamping.
+func effectiveShards(cfg options, objects int) int {
+	n := cfg.shards
+	if n < 1 {
+		n = 1
+	}
+	if n > objects {
+		n = objects
+	}
+	return n
+}
+
+// manifestMatches reports whether dir's manifest describes exactly the index
+// cfg would build over ds — same filter configuration, shard count,
+// compression on/off, and dataset fingerprint. (The quantized/exact flavour
+// is not recorded; both decode identically, so a flavour change alone does
+// not trigger a rebuild.)
+func manifestMatches(m *engine.Manifest, cfg options, objects int) bool {
+	spec, ok := segmentSpec(cfg)
+	if !ok {
+		return false
+	}
+	return m.Filter == spec &&
+		m.Shards == effectiveShards(cfg, objects) &&
+		m.Compressed == (cfg.compression != CompressionNone)
+}
+
+// Open boots an index from a segment directory previously populated by
+// Build(WithSegmentDir(dir)). The dataset is restored from its snapshot and
+// every shard's postings are memory-mapped, so no signature generation runs.
+// The returned index must be Closed when done.
+func Open(dir string) (*Index, error) {
+	start := time.Now()
+	man, err := engine.ReadManifest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("seal: opening segments: %w", err)
+	}
+	eng, err := engine.OpenSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("seal: opening segments: %w", err)
+	}
+	ds := eng.Root()
+	return &Index{
+		ds:  ds,
+		eng: eng,
+		stats: IndexStats{
+			Objects:    ds.Len(),
+			Vocabulary: ds.Vocab().Len(),
+			Method:     eng.FilterName(),
+			Shards:     eng.Shards(),
+			IndexBytes: eng.SizeBytes(),
+			BuildTime:  time.Since(start),
+			Mapped:     true,
+			Compressed: man.Compressed,
+		},
+	}, nil
+}
+
+// Close releases any memory-mapped segments backing the index. An index
+// built purely in memory closes to a no-op. The index must not be queried
+// after Close. Close is idempotent.
+func (ix *Index) Close() error { return ix.eng.Close() }
+
+// compressedStats reports whether the built index actually stores encoded
+// postings: the compression knob is a no-op for baseline methods.
+func compressedStats(cfg options) bool {
+	_, sig := segmentSpec(cfg)
+	return sig && cfg.compression != CompressionNone
+}

@@ -1,0 +1,240 @@
+package seal_test
+
+// Storage differential property tests: compression and mmap-backed segments
+// are storage layouts, not algorithms, so every combination of filter
+// method, shard count, and storage variant must return bit-identical answers
+// — same IDs, same similarities, same top-k order — to the in-memory flat
+// build it mirrors.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/sealdb/seal"
+)
+
+func expectSameAnswers(t *testing.T, label string, base, got *seal.Index, queries []seal.Query) {
+	t.Helper()
+	for qi, q := range queries {
+		want, err := base.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := got.Search(q)
+		if err != nil {
+			t.Fatalf("%s query %d: %v", label, qi, err)
+		}
+		if len(have) != len(want) {
+			t.Fatalf("%s query %d: %d matches, want %d", label, qi, len(have), len(want))
+		}
+		for i := range want {
+			if have[i] != want[i] {
+				t.Fatalf("%s query %d match %d: %+v, want %+v", label, qi, i, have[i], want[i])
+			}
+		}
+	}
+	for qi, q := range queries[:4] {
+		tq := seal.TopKQuery{Region: q.Region, Tokens: q.Tokens, K: 1 + qi*3, Alpha: 0.5, FloorR: 0.01, FloorT: 0.01}
+		want, err := base.SearchTopK(tq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := got.SearchTopK(tq)
+		if err != nil {
+			t.Fatalf("%s topk %d: %v", label, qi, err)
+		}
+		if len(have) != len(want) {
+			t.Fatalf("%s topk %d: %d results, want %d", label, qi, len(have), len(want))
+		}
+		for i := range want {
+			if have[i] != want[i] {
+				t.Fatalf("%s topk %d rank %d: %+v, want %+v", label, qi, i, have[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStorageDifferential: for every signature method and shard count, the
+// compressed (quantized and exact), segment-saved, segment-reopened, and
+// Open-booted variants must answer exactly like the in-memory flat build.
+func TestStorageDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	objects := shardObjects(250, rng)
+	queries := shardQueries(12, rng)
+
+	methods := []struct {
+		name string
+		opts []seal.Option
+	}{
+		{"seal", []seal.Option{seal.WithMethod(seal.MethodSeal), seal.WithMaxLevel(8)}},
+		{"token", []seal.Option{seal.WithMethod(seal.MethodTokenFilter)}},
+		{"grid", []seal.Option{seal.WithMethod(seal.MethodGridFilter), seal.WithGranularity(64)}},
+		{"hybrid", []seal.Option{seal.WithMethod(seal.MethodHybridHash), seal.WithGranularity(32), seal.WithHashBuckets(127)}},
+	}
+	for _, method := range methods {
+		t.Run(method.name, func(t *testing.T) {
+			for _, shards := range []int{1, 2, 3, 8} {
+				opts := func(extra ...seal.Option) []seal.Option {
+					all := append([]seal.Option(nil), method.opts...)
+					all = append(all, seal.WithShards(shards))
+					return append(all, extra...)
+				}
+				base, err := seal.Build(objects, opts()...)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+
+				for _, c := range []struct {
+					name string
+					mode seal.Compression
+				}{{"quant", seal.CompressionQuantized}, {"exact", seal.CompressionExact}} {
+					comp, err := seal.Build(objects, opts(seal.WithCompression(c.mode))...)
+					if err != nil {
+						t.Fatalf("shards=%d %s: %v", shards, c.name, err)
+					}
+					if !comp.Stats().Compressed {
+						t.Fatalf("shards=%d %s: Stats().Compressed = false", shards, c.name)
+					}
+					expectSameAnswers(t, fmt.Sprintf("shards=%d %s", shards, c.name), base, comp, queries)
+				}
+
+				dir := filepath.Join(t.TempDir(), "segs")
+				saved, err := seal.Build(objects, opts(seal.WithCompression(seal.CompressionQuantized), seal.WithSegmentDir(dir))...)
+				if err != nil {
+					t.Fatalf("shards=%d save: %v", shards, err)
+				}
+				if saved.Stats().Mapped {
+					t.Fatalf("shards=%d: first build reported Mapped", shards)
+				}
+				expectSameAnswers(t, fmt.Sprintf("shards=%d saved", shards), base, saved, queries)
+
+				reopened, err := seal.Build(objects, opts(seal.WithCompression(seal.CompressionQuantized), seal.WithSegmentDir(dir))...)
+				if err != nil {
+					t.Fatalf("shards=%d reopen: %v", shards, err)
+				}
+				if !reopened.Stats().Mapped || !reopened.Stats().Compressed {
+					t.Fatalf("shards=%d: rebuild did not map existing segments (stats %+v)", shards, reopened.Stats())
+				}
+				expectSameAnswers(t, fmt.Sprintf("shards=%d mapped", shards), base, reopened, queries)
+				if err := reopened.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				opened, err := seal.Open(dir)
+				if err != nil {
+					t.Fatalf("shards=%d Open: %v", shards, err)
+				}
+				if !opened.Stats().Mapped {
+					t.Fatalf("shards=%d: Open did not report Mapped", shards)
+				}
+				if got := opened.Stats().Shards; got != shards {
+					t.Fatalf("shards=%d: Open reports %d shards", shards, got)
+				}
+				expectSameAnswers(t, fmt.Sprintf("shards=%d opened", shards), base, opened, queries)
+				if err := opened.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestSegmentDirUncompressed: raw (uncompressed) segments round-trip too.
+func TestSegmentDirUncompressed(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	objects := shardObjects(150, rng)
+	queries := shardQueries(8, rng)
+	dir := filepath.Join(t.TempDir(), "segs")
+
+	base, err := seal.Build(objects, seal.WithMethod(seal.MethodTokenFilter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seal.Build(objects, seal.WithMethod(seal.MethodTokenFilter), seal.WithSegmentDir(dir)); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := seal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	if opened.Stats().Compressed {
+		t.Fatal("raw segments reported Compressed")
+	}
+	expectSameAnswers(t, "raw segments", base, opened, queries)
+}
+
+// TestSegmentDirRebuildsOnMismatch: a segment directory built from different
+// objects or a different configuration must be rebuilt, not served.
+func TestSegmentDirRebuildsOnMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	objects := shardObjects(120, rng)
+	changed := shardObjects(120, rand.New(rand.NewSource(78)))
+	dir := filepath.Join(t.TempDir(), "segs")
+
+	if _, err := seal.Build(objects, seal.WithMethod(seal.MethodGridFilter), seal.WithGranularity(32), seal.WithSegmentDir(dir)); err != nil {
+		t.Fatal(err)
+	}
+	// Different corpus, same directory: fingerprint mismatch forces a
+	// rebuild that overwrites the directory.
+	ix, err := seal.Build(changed, seal.WithMethod(seal.MethodGridFilter), seal.WithGranularity(32), seal.WithSegmentDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Stats().Mapped {
+		t.Fatal("mismatched dataset was served from stale segments")
+	}
+	// Different granularity: configuration mismatch also rebuilds.
+	ix2, err := seal.Build(changed, seal.WithMethod(seal.MethodGridFilter), seal.WithGranularity(64), seal.WithSegmentDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Stats().Mapped {
+		t.Fatal("mismatched granularity was served from stale segments")
+	}
+	// A corrupt segment file falls back to rebuild as well.
+	seg := filepath.Join(dir, "shard-0.seg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix3, err := seal.Build(changed, seal.WithMethod(seal.MethodGridFilter), seal.WithGranularity(64), seal.WithSegmentDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix3.Stats().Mapped {
+		t.Fatal("corrupt segment was served")
+	}
+	if _, err := seal.Open(dir); err != nil {
+		t.Fatalf("rebuild did not repair the corrupt directory: %v", err)
+	}
+}
+
+// TestSegmentDirRejectsBaselines: methods without posting lists cannot
+// persist segments.
+func TestSegmentDirRejectsBaselines(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	objects := shardObjects(50, rng)
+	for _, m := range []seal.Method{seal.MethodScan, seal.MethodKeywordFirst, seal.MethodSpatialFirst, seal.MethodIRTree} {
+		if _, err := seal.Build(objects, seal.WithMethod(m), seal.WithSegmentDir(t.TempDir())); err == nil {
+			t.Fatalf("method %d: WithSegmentDir should fail", m)
+		}
+	}
+}
+
+// TestOpenMissingDir: Open on an empty or absent directory errors cleanly.
+func TestOpenMissingDir(t *testing.T) {
+	if _, err := seal.Open(t.TempDir()); err == nil {
+		t.Fatal("Open on empty dir should fail")
+	}
+	if _, err := seal.Open(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("Open on missing dir should fail")
+	}
+}
