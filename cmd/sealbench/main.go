@@ -12,6 +12,9 @@
 //
 //	{"experiment":"shards","objects":60000,...,"elapsed_ms":1234.5,"data":[...]}
 //
+// SIGINT/SIGTERM stop the run at the next experiment boundary so deferred
+// cleanup (segment unmapping in the storage experiment) still runs.
+//
 // Examples:
 //
 //	sealbench                        # everything, default scale
@@ -23,13 +26,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/sealdb/seal/internal/bench"
@@ -48,6 +54,19 @@ type record struct {
 }
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "sealbench: %v\n", err)
+		if _, ok := err.(usageError); ok {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// usageError marks bad flag input (exit 2, matching flag package convention).
+type usageError struct{ error }
+
+func run() error {
 	var (
 		expName = flag.String("exp", "all", "experiment to run (see -list), or 'all'")
 		objects = flag.Int("objects", bench.DefaultConfig.TwitterN, "objects per dataset")
@@ -69,7 +88,7 @@ func main() {
 		for _, e := range bench.Experiments {
 			fmt.Printf("  %-10s %s\n", e.Name, e.Desc)
 		}
-		return
+		return nil
 	}
 
 	cfg := bench.DefaultConfig
@@ -97,27 +116,29 @@ func main() {
 	if *shards != "" {
 		sweep, err := parseSweep("shards", *shards)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sealbench: %v\n", err)
-			os.Exit(2)
+			return usageError{err}
 		}
 		cfg.ShardSweep = sweep
 	}
 	if *limit != "" {
 		sweep, err := parseSweep("limit", *limit)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sealbench: %v\n", err)
-			os.Exit(2)
+			return usageError{err}
 		}
 		cfg.LimitSweep = sweep
 	}
 	if *tiers != "" {
 		sweep, err := parseSweep("tiers", *tiers)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sealbench: %v\n", err)
-			os.Exit(2)
+			return usageError{err}
 		}
 		cfg.StorageTiers = sweep
 	}
+
+	// Long runs stop at the next experiment boundary on ^C, so the current
+	// experiment's deferred cleanup (segment unmapping, temp dirs) completes.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	out := io.Writer(os.Stdout)
 	var enc *json.Encoder
@@ -141,10 +162,12 @@ func main() {
 		}
 	}
 	for _, name := range names {
+		if ctx.Err() != nil {
+			return fmt.Errorf("interrupted, stopped before %s", strings.TrimSpace(name))
+		}
 		exp, ok := bench.Lookup(strings.TrimSpace(name))
 		if !ok {
-			fmt.Fprintf(os.Stderr, "sealbench: unknown experiment %q (try -list)\n", name)
-			os.Exit(2)
+			return usageError{fmt.Errorf("unknown experiment %q (try -list)", name)}
 		}
 		start := time.Now()
 		var data any
@@ -155,8 +178,7 @@ func main() {
 			err = exp.Run(out, env)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sealbench: %s: %v\n", exp.Name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", exp.Name, err)
 		}
 		if enc != nil {
 			rec := record{
@@ -170,11 +192,11 @@ func main() {
 				Data:       data,
 			}
 			if err := enc.Encode(rec); err != nil {
-				fmt.Fprintf(os.Stderr, "sealbench: encoding %s: %v\n", exp.Name, err)
-				os.Exit(1)
+				return fmt.Errorf("encoding %s: %w", exp.Name, err)
 			}
 		}
 	}
+	return nil
 }
 
 // parseSweep parses "1,2,4,8" into a sweep of positive counts.

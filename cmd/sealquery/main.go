@@ -22,6 +22,9 @@
 // -data, the index boots purely from the segment directory (seal.Open).
 // -compress stores posting lists delta-encoded with quantized bounds.
 //
+// SIGINT cancels the in-flight query and releases mapped segments cleanly
+// (Index.Close runs on every exit path).
+//
 // Interactive (one query per line: minx miny maxx maxy tauR tauT token...):
 //
 //	sealquery -data twitter.snap -i
@@ -32,18 +35,30 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"github.com/sealdb/seal"
 	"github.com/sealdb/seal/internal/model"
-	"github.com/sealdb/seal/internal/text"
+	"github.com/sealdb/seal/internal/server"
 )
 
 func main() {
+	if err := run(); err != nil {
+		if !errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "sealquery: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		dataPath    = flag.String("data", "", "snapshot path from sealgen (required)")
 		method      = flag.String("method", "seal", "seal|token|grid|hybrid|keyword|spatial|irtree|scan")
@@ -62,8 +77,13 @@ func main() {
 	)
 	flag.Parse()
 	if *dataPath == "" && *segments == "" {
-		fail("sealquery: -data (or -segments with a saved index) is required")
+		return errors.New("-data (or -segments with a saved index) is required")
 	}
+
+	// SIGINT/SIGTERM cancel the in-flight query promptly; the deferred
+	// Close then unmaps any sealed segments before the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	var ix *seal.Index
 	if *dataPath == "" {
@@ -71,24 +91,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "opening segments at %s...\n", *segments)
 		opened, err := seal.Open(*segments)
 		if err != nil {
-			fail("sealquery: %v", err)
+			return err
 		}
 		ix = opened
 	} else {
 		f, err := os.Open(*dataPath)
 		if err != nil {
-			fail("sealquery: %v", err)
+			return err
 		}
 		ds, err := model.ReadSnapshot(f)
 		f.Close()
 		if err != nil {
-			fail("sealquery: %v", err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "loaded %d objects, building %s index...\n", ds.Len(), *method)
 
 		opts, err := buildOptions(*method, *granularity, *shards)
 		if err != nil {
-			fail("sealquery: %v", err)
+			return err
 		}
 		if *compress {
 			opts = append(opts, seal.WithCompression(seal.CompressionQuantized))
@@ -96,9 +116,9 @@ func main() {
 		if *segments != "" {
 			opts = append(opts, seal.WithSegmentDir(*segments))
 		}
-		ix, err = seal.Build(snapshotObjects(ds), opts...)
+		ix, err = seal.Build(server.SnapshotObjects(ds), opts...)
 		if err != nil {
-			fail("sealquery: %v", err)
+			return err
 		}
 	}
 	defer ix.Close()
@@ -111,15 +131,14 @@ func main() {
 		st.Method, st.Shards, float64(st.IndexBytes)/(1<<20), boot)
 
 	if *interactive {
-		runREPL(ix)
-		return
+		return runREPL(ctx, ix)
 	}
 	if *rectSpec == "" || *tokensSpec == "" {
-		fail("sealquery: -rect and -tokens are required without -i")
+		return errors.New("-rect and -tokens are required without -i")
 	}
 	rect, err := parseRect(*rectSpec)
 	if err != nil {
-		fail("sealquery: %v", err)
+		return err
 	}
 	req := seal.Request{Region: rect, Tokens: splitTokens(*tokensSpec), TauR: *tauR, TauT: *tauT}
 	if *topK > 0 {
@@ -127,13 +146,13 @@ func main() {
 		req.K = *topK
 		req.Alpha = *alpha
 	}
-	streamNDJSON(ix, req, *limit)
+	return streamNDJSON(ctx, ix, req, *limit)
 }
 
 // streamNDJSON runs req through Index.Stream, writing one JSON record per
 // match to stdout as the engine verifies it, and a work summary to stderr
 // once the stream ends.
-func streamNDJSON(ix *seal.Index, req seal.Request, limit int) {
+func streamNDJSON(ctx context.Context, ix *seal.Index, req seal.Request, limit int) error {
 	type record struct {
 		ID    int     `json:"id"`
 		SimR  float64 `json:"sim_r"`
@@ -149,43 +168,18 @@ func streamNDJSON(ix *seal.Index, req seal.Request, limit int) {
 
 	enc := json.NewEncoder(os.Stdout)
 	n := 0
-	for m, err := range ix.Stream(context.Background(), req, opts...) {
+	for m, err := range ix.Stream(ctx, req, opts...) {
 		if err != nil {
-			fail("sealquery: %v", err)
+			return err
 		}
 		if err := enc.Encode(record{ID: m.ID, SimR: m.SimR, SimT: m.SimT, Score: m.Score}); err != nil {
-			fail("sealquery: %v", err)
+			return err
 		}
 		n++
 	}
 	fmt.Fprintf(os.Stderr, "%d match(es), %d candidate(s), %d postings scanned, filter %v + verify %v\n",
 		n, st.Candidates, st.PostingsScanned, st.FilterTime, st.VerifyTime)
-}
-
-// snapshotObjects converts a snapshot dataset back into public API objects;
-// Build re-derives identical token weights from the same corpus.
-func snapshotObjects(ds *model.Dataset) []seal.Object {
-	vocab := ds.Vocab()
-	objects := make([]seal.Object, ds.Len())
-	for i := range objects {
-		id := model.ObjectID(i)
-		tokens := make([]string, 0, len(ds.Tokens(id)))
-		for _, t := range ds.Tokens(id) {
-			tokens = append(tokens, vocab.Term(text.TokenID(t)))
-		}
-		objects[i].Tokens = tokens
-		if set := ds.MultiRegion(id); set != nil {
-			regions := make([]seal.Rect, len(set))
-			for j, r := range set {
-				regions[j] = seal.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
-			}
-			objects[i].Regions = regions
-			continue
-		}
-		r := ds.Region(id)
-		objects[i].Region = seal.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
-	}
-	return objects
+	return nil
 }
 
 func buildOptions(method string, p, shards int) ([]seal.Option, error) {
@@ -213,14 +207,17 @@ func buildOptions(method string, p, shards int) ([]seal.Option, error) {
 	return opts, nil
 }
 
-func runREPL(ix *seal.Index) {
+func runREPL(ctx context.Context, ix *seal.Index) error {
 	fmt.Println("query format: minx miny maxx maxy tauR tauT token [token...]  (ctrl-D to quit)")
 	sc := bufio.NewScanner(os.Stdin)
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		fmt.Print("> ")
 		if !sc.Scan() {
 			fmt.Println()
-			return
+			return nil
 		}
 		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
@@ -250,8 +247,11 @@ func runREPL(ix *seal.Index) {
 			TauR:   nums[4],
 			TauT:   nums[5],
 		}
-		res, err := ix.Query(context.Background(), req, seal.CollectStats())
+		res, err := ix.Query(ctx, req, seal.CollectStats())
 		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			fmt.Printf("error: %v\n", err)
 			continue
 		}
@@ -288,9 +288,4 @@ func splitTokens(s string) []string {
 		}
 	}
 	return out
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
 }

@@ -150,4 +150,25 @@
 //
 // IndexStats reports the storage state: Mapped is true for a segment-backed
 // index, Compressed when posting lists are stored encoded.
+//
+// # Serving
+//
+// cmd/sealserver wraps the library in a production HTTP daemon: it boots an
+// index (memory-mapping a sealed-segment directory when one matches,
+// building and saving otherwise), optionally warms the mapped pages with
+// synthetic queries before reporting ready, and serves until SIGTERM with a
+// graceful drain.
+//
+//	sealserver -data twitter.snap -segments /var/lib/seal/tw -warmup 64
+//	sealserver -segments /var/lib/seal/tw     # later boots: no snapshot needed
+//
+// POST /v1/query answers one query, POST /v1/query/batch many, and GET
+// /v1/stream emits NDJSON — one record per match as the engine verifies it,
+// with a client disconnect canceling the remaining shard work. GET /healthz
+// and /readyz split liveness from readiness, GET /metrics exposes
+// Prometheus-format counters and latency histograms (including engine work:
+// postings scanned, candidates verified, realized shard fan-out), and GET
+// /v1/status reports build info, the dataset fingerprint, and boot
+// provenance. The serving layer lives in internal/server behind plain
+// http.Handlers; examples/server drives a complete session in-process.
 package seal

@@ -1,0 +1,155 @@
+// Command server drives one complete sealserver session in a single
+// process: it builds a small sharded index (persisting sealed segments into
+// a temp directory), wires the serving layer from internal/server around it,
+// warms the index up, then acts as its own HTTP client — querying, batching,
+// streaming NDJSON, and scraping /metrics — before draining the listener the
+// way SIGTERM would.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	seal "github.com/sealdb/seal"
+	"github.com/sealdb/seal/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(42))
+	tags := []string{"coffee", "tea", "bakery", "books", "vinyl", "ramen",
+		"tacos", "climbing", "cinema", "jazz", "park", "museum"}
+
+	// 20k venue profiles over a 1000×1000 city grid.
+	objects := make([]seal.Object, 20000)
+	for i := range objects {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		tokens := make([]string, 1+rng.Intn(4))
+		for j := range tokens {
+			tokens[j] = tags[rng.Intn(len(tags))]
+		}
+		objects[i] = seal.Object{
+			Region: seal.Rect{MinX: x, MinY: y, MaxX: x + 1 + rng.Float64()*4, MaxY: y + 1 + rng.Float64()*4},
+			Tokens: tokens,
+		}
+	}
+
+	segDir, err := os.MkdirTemp("", "seal-server-example-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(segDir)
+
+	// First build persists sealed segments; a daemon restarting against the
+	// same directory would memory-map them instead of re-indexing.
+	ix, err := seal.Build(objects, seal.WithShards(4), seal.WithSegmentDir(segDir))
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	st := ix.Stats()
+	fmt.Printf("indexed %d objects across %d shards (%.1f MB), segments in %s\n",
+		st.Objects, st.Shards, float64(st.IndexBytes)/(1<<20), segDir)
+
+	cfg := server.DefaultConfig
+	cfg.SegmentDir = segDir
+	cfg.Warmup = 16
+	srv := server.New(ix, cfg, server.NewQueryLog(os.Stderr))
+	srv.SetBootInfo(server.BootInfo{Source: "built+saved"})
+	if err := srv.RunWarmup(server.Logf(log.Printf)); err != nil {
+		return err
+	}
+	srv.SetReady(true)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n\n", base)
+
+	// --- One threshold query over the wire. ---
+	body := `{"rect":[100,100,140,140],"tokens":["coffee","jazz"],"tau_r":0.001,"tau_t":0.3,"order_by":"id","limit":5}`
+	resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("POST /v1/query -> %s\n", resp.Status)
+	copyBody(resp)
+
+	// --- A batch: two queries, answered per-entry. ---
+	batch := `{"queries":[
+		{"rect":[100,100,140,140],"tokens":["coffee"],"tau_r":0.001,"tau_t":0.2,"limit":3},
+		{"rect":[500,500,540,540],"tokens":["ramen","tacos"],"k":3,"alpha":0.5,"floor_r":0.0001,"floor_t":0.05}
+	]}`
+	resp, err = http.Post(base+"/v1/query/batch", "application/json", strings.NewReader(batch))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("POST /v1/query/batch -> %s\n", resp.Status)
+	copyBody(resp)
+
+	// --- NDJSON streaming: matches arrive as shards verify them. ---
+	resp, err = http.Get(base + "/v1/stream?rect=200,200,260,260&tokens=books,vinyl&tau_r=0.001&tau_t=0.2&limit=5")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("GET /v1/stream -> %s\n", resp.Status)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fmt.Printf("  %s\n", sc.Text())
+	}
+	resp.Body.Close()
+
+	// --- Scrape the engine-work counters. ---
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nGET /metrics (engine excerpt):")
+	sc = bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "seal_queries_total") ||
+			strings.HasPrefix(line, "seal_postings_scanned_total") ||
+			strings.HasPrefix(line, "seal_shard_searches_total") ||
+			strings.HasPrefix(line, "seal_index_mapped") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	resp.Body.Close()
+
+	// --- Graceful drain, exactly what SIGTERM triggers in cmd/sealserver. ---
+	srv.SetReady(false)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Println("\ndrained and shut down cleanly")
+	return nil
+}
+
+func copyBody(resp *http.Response) {
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fmt.Printf("  %s\n", sc.Text())
+	}
+	resp.Body.Close()
+}

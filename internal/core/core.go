@@ -203,6 +203,11 @@ type SearchStats struct {
 	Results    int
 	FilterTime time.Duration
 	VerifyTime time.Duration
+	// Shards counts the shard searches that actually ran for this query.
+	// The engine stamps it when merging per-shard reports (a Searcher used
+	// directly always reports zero), so on an early-terminated query it is
+	// the realized fan-out, not the shard count of the index.
+	Shards int
 }
 
 // Elapsed returns the total query time.
@@ -216,6 +221,7 @@ func (s *SearchStats) Merge(other SearchStats) {
 	s.Results += other.Results
 	s.FilterTime += other.FilterTime
 	s.VerifyTime += other.VerifyTime
+	s.Shards += other.Shards
 }
 
 // Searcher runs the two-step SealSig algorithm: filter, then verify.

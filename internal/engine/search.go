@@ -84,6 +84,7 @@ func (e *Engine) searchSingle(q *model.Query) ([]core.Match, core.SearchStats) {
 	// or the next borrower would overwrite our caller's results.
 	out := append(make([]core.Match, 0, len(matches)), matches...)
 	s.pool.Put(sr)
+	st.Shards = 1
 	return out, st
 }
 
@@ -113,6 +114,7 @@ func (e *Engine) searchScatter(ctx context.Context, q *model.Query) ([]core.Matc
 				matches[j] = m
 			}
 			s.pool.Put(sr)
+			st.Shards = 1
 			results[i] = shardResult{matches: matches, st: st}
 		}(i, s)
 	}

@@ -138,6 +138,7 @@ func (e *Engine) SearchStream(ctx context.Context, q *model.Query, opts StreamOp
 					},
 				})
 				s.pool.Put(sr)
+				st.Shards = 1
 				mu.Lock()
 				ms.stats.Merge(st)
 				mu.Unlock()
@@ -188,6 +189,7 @@ func (e *Engine) SearchLimited(ctx context.Context, q *model.Query, limit, paral
 				return limit <= 0 || len(local) < limit
 			},
 		})
+		stats[i].Shards = 1
 		s.pool.Put(sr)
 		lists[i] = local
 		return ctx.Err()

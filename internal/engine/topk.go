@@ -53,6 +53,7 @@ func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts
 		// Descent rounds each merged their own Results; the query's answer
 		// count is the final ranking's length.
 		st.Results = len(found)
+		st.Shards = 1
 		return found, st, err
 	}
 
@@ -76,6 +77,7 @@ func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts
 		if err != nil {
 			return err
 		}
+		stats[i].Shards = 1
 		for j := range found {
 			found[j].ID = s.global(found[j].ID)
 		}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Config sizes one serving daemon. The zero value is not useful; start from
+// DefaultConfig and override. cmd/sealserver exposes every field as a flag
+// and can preload the whole struct from a JSON file (flags win).
+type Config struct {
+	// Addr is the HTTP listen address, e.g. ":8080" or "127.0.0.1:0".
+	Addr string `json:"addr"`
+
+	// DataPath is a sealgen snapshot to index. Optional when SegmentDir
+	// holds a complete sealed-segment directory (the daemon then boots
+	// purely from disk).
+	DataPath string `json:"data"`
+	// SegmentDir is the sealed-segment directory: when it matches the
+	// configuration the index is memory-mapped instead of rebuilt, and a
+	// fresh build is saved into it for the next boot.
+	SegmentDir string `json:"segments"`
+
+	// Method selects the filter family: seal|token|grid|hybrid (the
+	// signature methods — the ones segments support). Default "seal".
+	Method string `json:"method"`
+	// Granularity is the grid granularity P for grid/hybrid. Default 1024.
+	Granularity int `json:"granularity"`
+	// Shards is the spatial shard count. Default 1.
+	Shards int `json:"shards"`
+	// Compress stores posting lists delta-encoded with quantized bounds.
+	Compress bool `json:"compress"`
+
+	// Warmup runs this many synthetic queries (built from indexed objects,
+	// so they touch real posting lists) before /readyz flips to ready,
+	// faulting mmap pages in ahead of traffic. 0 disables warmup.
+	Warmup int `json:"warmup"`
+
+	// RequestTimeout bounds one request's execution; the engine observes
+	// the deadline mid-scatter. 0 means no per-request deadline.
+	RequestTimeout time.Duration `json:"-"`
+	// MaxInFlight caps concurrently executing /v1/* requests; excess
+	// requests are rejected with 429 rather than queued without bound.
+	// 0 means unlimited.
+	MaxInFlight int `json:"max_in_flight"`
+	// MaxBatch caps the query count of one /v1/query/batch call. 0 means
+	// the default of 256.
+	MaxBatch int `json:"max_batch"`
+	// ShutdownGrace bounds the drain of in-flight requests on SIGINT or
+	// SIGTERM before the listener is torn down regardless.
+	ShutdownGrace time.Duration `json:"-"`
+}
+
+// DefaultConfig is the daemon's baseline configuration.
+var DefaultConfig = Config{
+	Addr:           ":8080",
+	Method:         "seal",
+	Granularity:    1024,
+	Shards:         1,
+	RequestTimeout: 10 * time.Second,
+	MaxInFlight:    256,
+	MaxBatch:       256,
+	ShutdownGrace:  15 * time.Second,
+}
+
+// fileConfig mirrors Config for the JSON config file, with durations as
+// strings ("500ms", "10s") so operators write them naturally.
+type fileConfig struct {
+	Config
+	RequestTimeout string `json:"request_timeout"`
+	ShutdownGrace  string `json:"shutdown_grace"`
+}
+
+// LoadConfig reads a JSON config file over base (typically DefaultConfig):
+// absent fields keep base's values. Unknown keys are an error so typos
+// surface at boot, not as silently-default behavior.
+func LoadConfig(path string, base Config) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return base, fmt.Errorf("server: %w", err)
+	}
+	fc := fileConfig{Config: base}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fc); err != nil {
+		return base, fmt.Errorf("server: parsing %s: %w", path, err)
+	}
+	cfg := fc.Config
+	if fc.RequestTimeout != "" {
+		d, err := time.ParseDuration(fc.RequestTimeout)
+		if err != nil {
+			return base, fmt.Errorf("server: %s: request_timeout: %w", path, err)
+		}
+		cfg.RequestTimeout = d
+	}
+	if fc.ShutdownGrace != "" {
+		d, err := time.ParseDuration(fc.ShutdownGrace)
+		if err != nil {
+			return base, fmt.Errorf("server: %s: shutdown_grace: %w", path, err)
+		}
+		cfg.ShutdownGrace = d
+	}
+	if err := cfg.Validate(); err != nil {
+		return base, err
+	}
+	return cfg, nil
+}
+
+// Validate rejects configurations the daemon cannot serve.
+func (c Config) Validate() error {
+	if c.DataPath == "" && c.SegmentDir == "" {
+		return fmt.Errorf("server: need a data snapshot or a segment directory")
+	}
+	switch c.Method {
+	case "seal", "token", "grid", "hybrid":
+	default:
+		return fmt.Errorf("server: unknown method %q (seal|token|grid|hybrid)", c.Method)
+	}
+	if c.Granularity < 1 {
+		return fmt.Errorf("server: granularity %d < 1", c.Granularity)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("server: negative warmup %d", c.Warmup)
+	}
+	if c.MaxInFlight < 0 || c.MaxBatch < 0 {
+		return fmt.Errorf("server: negative concurrency limits")
+	}
+	return nil
+}
+
+// maxBatch resolves the batch cap.
+func (c Config) maxBatch() int {
+	if c.MaxBatch == 0 {
+		return 256
+	}
+	return c.MaxBatch
+}

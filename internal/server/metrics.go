@@ -1,0 +1,332 @@
+package server
+
+// Prometheus-format metrics, hand-rolled so the daemon stays dependency-free.
+// Everything hot-path is a plain atomic: counters for request/engine work
+// totals, a fixed-bucket histogram per endpoint for latency. The exposition
+// (WriteTo) walks the registry under no lock — scrapes see a consistent-
+// enough snapshot, which is all Prometheus semantics ask for.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	seal "github.com/sealdb/seal"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. They span 100µs
+// (an in-memory single-shard hit) to 10s (the default request timeout).
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic cells.
+type histogram struct {
+	counts []atomic.Uint64 // one per bucket, non-cumulative
+	inf    atomic.Uint64   // observations above the last bound
+	sumNS  atomic.Int64
+	total  atomic.Uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Uint64, len(latencyBuckets))}
+}
+
+// Observe records one request latency.
+func (h *histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	placed := false
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.sumNS.Add(int64(d))
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *histogram) Count() uint64 { return h.total.Load() }
+
+// Quantile estimates the q-quantile (0 < q < 1) in seconds by linear
+// interpolation inside the bucket holding the target rank; observations in
+// the overflow bucket report the last finite bound. Zero observations
+// report 0.
+func (h *histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	lower := 0.0
+	for i, ub := range latencyBuckets {
+		c := h.counts[i].Load()
+		if c > 0 && float64(cum)+float64(c) >= rank {
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (ub-lower)*frac
+		}
+		cum += c
+		lower = ub
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
+// writeTo emits the histogram in Prometheus cumulative-bucket form.
+func (h *histogram) writeTo(w io.Writer, name, labels string) {
+	var cum uint64
+	for i, ub := range latencyBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labels, formatBound(ub), cum)
+	}
+	cum += h.inf.Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, trimComma(labels), float64(h.sumNS.Load())/1e9)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, trimComma(labels), h.total.Load())
+}
+
+func formatBound(ub float64) string { return trimFloat(ub) }
+
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+// trimComma drops the trailing comma a label prefix carries for composition
+// with the le label.
+func trimComma(labels string) string {
+	if n := len(labels); n > 0 && labels[n-1] == ',' {
+		return labels[:n-1]
+	}
+	return labels
+}
+
+// Metrics is the daemon's metric registry.
+type Metrics struct {
+	start time.Time
+
+	// requests_total{endpoint,code}
+	mu       sync.Mutex
+	requests map[string]*atomic.Uint64 // key: endpoint \x00 code
+
+	inFlight atomic.Int64
+	rejected atomic.Uint64 // limiter rejections (429)
+
+	// per-endpoint latency histograms, fixed at construction.
+	latency map[string]*histogram
+
+	// engine work totals, accumulated from per-query Stats.
+	postingsScanned atomic.Uint64
+	listsProbed     atomic.Uint64
+	candidates      atomic.Uint64
+	matches         atomic.Uint64
+	shardSearches   atomic.Uint64
+	queries         atomic.Uint64
+
+	// index facts, set once at boot.
+	indexMu    sync.Mutex
+	indexStats seal.IndexStats
+}
+
+// metricEndpoints are the latency-histogram labels. Warmup traffic records
+// under its own label so boot-time page faulting never skews serving p99s.
+var metricEndpoints = []string{"query", "batch", "stream", "warmup"}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	m := &Metrics{
+		start:    time.Now(),
+		requests: make(map[string]*atomic.Uint64),
+		latency:  make(map[string]*histogram, len(metricEndpoints)),
+	}
+	for _, e := range metricEndpoints {
+		m.latency[e] = newHistogram()
+	}
+	return m
+}
+
+// SetIndexStats records the served index's shape for the exposition.
+func (m *Metrics) SetIndexStats(st seal.IndexStats) {
+	m.indexMu.Lock()
+	m.indexStats = st
+	m.indexMu.Unlock()
+}
+
+// RecordRequest counts one finished HTTP request.
+func (m *Metrics) RecordRequest(endpoint string, code int, d time.Duration) {
+	key := fmt.Sprintf("%s\x00%d", endpoint, code)
+	m.mu.Lock()
+	c, ok := m.requests[key]
+	if !ok {
+		c = new(atomic.Uint64)
+		m.requests[key] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+	if h, ok := m.latency[endpoint]; ok {
+		h.Observe(d)
+	}
+}
+
+// RecordQuery accumulates one executed query's engine work. st may be nil
+// (stats collection failed); the query still counts.
+func (m *Metrics) RecordQuery(st *seal.Stats, matches int) {
+	m.queries.Add(1)
+	m.matches.Add(uint64(matches))
+	if st == nil {
+		return
+	}
+	m.postingsScanned.Add(uint64(st.PostingsScanned))
+	m.listsProbed.Add(uint64(st.ListsProbed))
+	m.candidates.Add(uint64(st.Candidates))
+	m.shardSearches.Add(uint64(st.ShardFanout))
+}
+
+// RecordRejected counts one limiter rejection.
+func (m *Metrics) RecordRejected() { m.rejected.Add(1) }
+
+// IncInFlight / DecInFlight track concurrently executing requests.
+func (m *Metrics) IncInFlight() { m.inFlight.Add(1) }
+func (m *Metrics) DecInFlight() { m.inFlight.Add(-1) }
+
+// InFlight returns the current in-flight request count.
+func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
+
+// Queries returns the total executed query count (batch entries count
+// individually).
+func (m *Metrics) Queries() uint64 { return m.queries.Load() }
+
+// PostingsScanned returns the accumulated postings-scanned total.
+func (m *Metrics) PostingsScanned() uint64 { return m.postingsScanned.Load() }
+
+// LatencyQuantile estimates a latency quantile in seconds for one endpoint
+// label ("query", "batch", "stream", "warmup").
+func (m *Metrics) LatencyQuantile(endpoint string, q float64) float64 {
+	h, ok := m.latency[endpoint]
+	if !ok {
+		return 0
+	}
+	return h.Quantile(q)
+}
+
+// Uptime reports time since the registry (≈ the process) started.
+func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// WriteTo emits the registry in Prometheus text exposition format.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+
+	fmt.Fprintln(cw, "# HELP seal_requests_total HTTP requests finished, by endpoint and status code.")
+	fmt.Fprintln(cw, "# TYPE seal_requests_total counter")
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type reqRow struct {
+		endpoint, code string
+		n              uint64
+	}
+	rows := make([]reqRow, 0, len(keys))
+	for _, k := range keys {
+		var endpoint, code string
+		for i := 0; i < len(k); i++ {
+			if k[i] == 0 {
+				endpoint, code = k[:i], k[i+1:]
+				break
+			}
+		}
+		rows = append(rows, reqRow{endpoint, code, m.requests[k].Load()})
+	}
+	m.mu.Unlock()
+	for _, r := range rows {
+		fmt.Fprintf(cw, "seal_requests_total{endpoint=%q,code=%q} %d\n", r.endpoint, r.code, r.n)
+	}
+
+	fmt.Fprintln(cw, "# HELP seal_requests_rejected_total Requests rejected by the concurrency limiter.")
+	fmt.Fprintln(cw, "# TYPE seal_requests_rejected_total counter")
+	fmt.Fprintf(cw, "seal_requests_rejected_total %d\n", m.rejected.Load())
+
+	fmt.Fprintln(cw, "# HELP seal_in_flight_requests Requests currently executing.")
+	fmt.Fprintln(cw, "# TYPE seal_in_flight_requests gauge")
+	fmt.Fprintf(cw, "seal_in_flight_requests %d\n", m.inFlight.Load())
+
+	fmt.Fprintln(cw, "# HELP seal_request_duration_seconds Request latency by endpoint.")
+	fmt.Fprintln(cw, "# TYPE seal_request_duration_seconds histogram")
+	for _, e := range metricEndpoints {
+		m.latency[e].writeTo(cw, "seal_request_duration_seconds", fmt.Sprintf("endpoint=%q,", e))
+	}
+
+	engineCounters := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"seal_queries_total", "Queries executed (batch entries count individually).", m.queries.Load()},
+		{"seal_matches_total", "Verified matches returned.", m.matches.Load()},
+		{"seal_postings_scanned_total", "Inverted-index postings scanned by the filter step.", m.postingsScanned.Load()},
+		{"seal_lists_probed_total", "Posting lists probed by the filter step.", m.listsProbed.Load()},
+		{"seal_candidates_total", "Candidates that reached exact verification.", m.candidates.Load()},
+		{"seal_shard_searches_total", "Per-shard searches actually run (realized fan-out).", m.shardSearches.Load()},
+	}
+	for _, c := range engineCounters {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
+	}
+
+	m.indexMu.Lock()
+	st := m.indexStats
+	m.indexMu.Unlock()
+	indexGauges := []struct {
+		name, help string
+		v          int64
+	}{
+		{"seal_index_objects", "Objects in the served index.", int64(st.Objects)},
+		{"seal_index_vocabulary", "Distinct tokens in the served index.", int64(st.Vocabulary)},
+		{"seal_index_shards", "Spatial shards of the served index.", int64(st.Shards)},
+		{"seal_index_bytes", "In-memory (or mapped) index footprint in bytes.", st.IndexBytes},
+		{"seal_index_mapped", "1 when postings are served from mmap-ed sealed segments.", int64(b2i(st.Mapped))},
+		{"seal_index_compressed", "1 when posting lists are stored compressed.", int64(b2i(st.Compressed))},
+	}
+	for _, g := range indexGauges {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v)
+	}
+
+	fmt.Fprintln(cw, "# HELP seal_uptime_seconds Seconds since the daemon started.")
+	fmt.Fprintln(cw, "# TYPE seal_uptime_seconds gauge")
+	fmt.Fprintf(cw, "seal_uptime_seconds %g\n", m.Uptime().Seconds())
+
+	return cw.n, cw.err
+}
+
+// countingWriter tracks bytes and the first error for WriteTo's contract.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := newHistogram()
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", q)
+	}
+	// 100 observations spread evenly through the 1ms–2.5ms bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 0.001 || p50 > 0.0025 {
+		t.Fatalf("p50 = %g, want inside the (0.001, 0.0025] bucket", p50)
+	}
+	// Quantiles are monotone in q.
+	if p99 := h.Quantile(0.99); p99 < p50 {
+		t.Fatalf("p99 %g < p50 %g", p99, p50)
+	}
+
+	// An observation beyond the last bound lands in +Inf and caps the
+	// quantile at the last finite bound.
+	h2 := newHistogram()
+	h2.Observe(time.Minute)
+	if q := h2.Quantile(0.5); q != latencyBuckets[len(latencyBuckets)-1] {
+		t.Fatalf("overflow quantile = %g, want last bound", q)
+	}
+}
+
+func TestHistogramExpositionIsCumulative(t *testing.T) {
+	h := newHistogram()
+	h.Observe(50 * time.Microsecond) // ≤ 0.0001
+	h.Observe(2 * time.Millisecond)  // ≤ 0.0025
+	h.Observe(time.Minute)           // +Inf
+
+	var sb strings.Builder
+	h.writeTo(&sb, "x_seconds", `endpoint="q",`)
+	text := sb.String()
+
+	for _, want := range []string{
+		`x_seconds_bucket{endpoint="q",le="0.0001"} 1`,
+		`x_seconds_bucket{endpoint="q",le="0.0025"} 2`,
+		`x_seconds_bucket{endpoint="q",le="10"} 2`,
+		`x_seconds_bucket{endpoint="q",le="+Inf"} 3`,
+		`x_seconds_count{endpoint="q"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMetricsRequestAccounting(t *testing.T) {
+	m := NewMetrics()
+	m.RecordRequest("query", 200, time.Millisecond)
+	m.RecordRequest("query", 200, time.Millisecond)
+	m.RecordRequest("query", 400, time.Millisecond)
+	m.RecordRejected()
+	m.IncInFlight()
+
+	var sb strings.Builder
+	if _, err := m.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`seal_requests_total{endpoint="query",code="200"} 2`,
+		`seal_requests_total{endpoint="query",code="400"} 1`,
+		"seal_requests_rejected_total 1",
+		"seal_in_flight_requests 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+	m.DecInFlight()
+	if m.InFlight() != 0 {
+		t.Fatalf("in-flight = %d, want 0", m.InFlight())
+	}
+}

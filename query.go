@@ -383,6 +383,7 @@ func statsOut(st core.SearchStats) Stats {
 		PostingsScanned: st.PostingsScanned,
 		FilterTime:      st.FilterTime,
 		VerifyTime:      st.VerifyTime,
+		ShardFanout:     st.Shards,
 	}
 }
 

@@ -72,6 +72,11 @@ type Stats struct {
 	// FilterTime and VerifyTime split the elapsed time by phase.
 	FilterTime time.Duration
 	VerifyTime time.Duration
+	// ShardFanout is the number of shard searches that actually ran: equal
+	// to IndexStats.Shards for a full scatter, lower when early termination
+	// (Limit, top-k pruning, cancellation) stopped shards before they
+	// started.
+	ShardFanout int
 }
 
 // IndexStats describes a built index.
@@ -387,6 +392,34 @@ func (ix *Index) Similarity(q Query, id int) (simR, simT float64, err error) {
 
 // Len returns the number of indexed objects.
 func (ix *Index) Len() int { return ix.ds.Len() }
+
+// Object reconstructs the indexed object with the given ID: its region (or
+// multi-region set) and token terms, in indexed order. It is the inverse of
+// the slice passed to Build, and works on indexes opened from sealed
+// segments too — the serving layer uses it to synthesize warmup queries that
+// touch real posting lists.
+func (ix *Index) Object(id int) (Object, error) {
+	if id < 0 || id >= ix.ds.Len() {
+		return Object{}, fmt.Errorf("seal: object ID %d out of range [0,%d)", id, ix.ds.Len())
+	}
+	oid := model.ObjectID(id)
+	vocab := ix.ds.Vocab()
+	toks := ix.ds.Tokens(oid)
+	obj := Object{Tokens: make([]string, len(toks))}
+	for i, t := range toks {
+		obj.Tokens[i] = vocab.Term(text.TokenID(t))
+	}
+	if set := ix.ds.MultiRegion(oid); set != nil {
+		obj.Regions = make([]Rect, len(set))
+		for i, r := range set {
+			obj.Regions[i] = Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+		}
+		return obj, nil
+	}
+	r := ix.ds.Region(oid)
+	obj.Region = Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+	return obj, nil
+}
 
 // Stats describes the index.
 func (ix *Index) Stats() IndexStats { return ix.stats }

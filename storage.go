@@ -138,6 +138,12 @@ func Open(dir string) (*Index, error) {
 // after Close. Close is idempotent.
 func (ix *Index) Close() error { return ix.eng.Close() }
 
+// Fingerprint returns the dataset content hash recorded in segment
+// manifests: two indexes report the same fingerprint exactly when they were
+// built from the same objects. The serving layer exposes it so operators can
+// check which corpus a running daemon answers for.
+func (ix *Index) Fingerprint() string { return engine.Fingerprint(ix.ds) }
+
 // compressedStats reports whether the built index actually stores encoded
 // postings: the compression knob is a no-op for baseline methods.
 func compressedStats(cfg options) bool {
