@@ -33,6 +33,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -43,12 +44,17 @@ import (
 
 // record is one -json output line.
 type record struct {
-	Experiment string  `json:"experiment"`
-	Objects    int     `json:"objects"`
-	Queries    int     `json:"queries"`
-	Seed       int64   `json:"seed"`
-	Budget     int     `json:"budget"`
-	Level      int     `json:"level"`
+	Experiment string `json:"experiment"`
+	Objects    int    `json:"objects"`
+	Queries    int    `json:"queries"`
+	Seed       int64  `json:"seed"`
+	Budget     int    `json:"budget"`
+	Level      int    `json:"level"`
+	// Gomaxprocs and CPUs record the parallelism the run actually had, so
+	// shard-overhead effects on starved machines (GOMAXPROCS=1) are
+	// machine-readable instead of a README caveat.
+	Gomaxprocs int     `json:"gomaxprocs"`
+	CPUs       int     `json:"cpus"`
 	ElapsedMS  float64 `json:"elapsed_ms"`
 	Data       any     `json:"data,omitempty"`
 }
@@ -188,6 +194,8 @@ func run() error {
 				Seed:       cfg.Seed,
 				Budget:     cfg.HierBudget,
 				Level:      cfg.HierMaxLevel,
+				Gomaxprocs: runtime.GOMAXPROCS(0),
+				CPUs:       runtime.NumCPU(),
 				ElapsedMS:  float64(time.Since(start).Microseconds()) / 1e3,
 				Data:       data,
 			}

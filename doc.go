@@ -118,6 +118,40 @@
 // which reports the filter/verify time split, postings scanned, allocs per
 // query, and the flat-vs-map posting-layout comparison.
 //
+// # Query planning
+//
+// No single filter family wins every query: token-heavy queries favor the
+// textual filters, tight rects over hot regions favor the grid, and the
+// crossover moves with the data. WithAdaptivePlanning builds every
+// interchangeable signature-filter family over the same shards and picks
+// the cheapest per (query, shard) with a calibrated cost model: each family
+// predicts its probes, postings and verification candidates from cheap
+// index statistics, and live search feedback continuously calibrates each
+// family's nanoseconds-per-unit, so the model tracks the machine and the
+// workload rather than trusting built-in constants. Decisions are cached
+// per query shape in a fixed-size lock-free table and recomputed when
+// calibration drifts; planning allocates nothing (the planned path keeps
+// the 0 allocs/op steady state).
+//
+// The same option arms spatial shard pruning: a shard whose partition
+// extent provably cannot reach the query's TauR — the overlap bound is
+// computed against the extent, sound for both Jaccard and Dice — is skipped
+// before dispatch, shrinking realized fan-out for selective rects.
+//
+// Every family is a complete filter over the same exact verification, so
+// the planner never changes an answer, only the work; the differential
+// tests pin bit-identity against every static family across shard counts.
+// Stats.PlanChoices reports how shard searches were routed and
+// Stats.ShardsPruned how many dispatches pruning skipped; the serving layer
+// exposes both as seal_plan_selected_total and seal_shards_pruned_total in
+// /metrics and in /v1/status. Reproduce the planner experiment with
+//
+//	go run ./cmd/sealbench -exp planner -json
+//
+// which times every static family against the adaptive engine per query
+// class and checks answer identity (BENCH_PR8.json is the committed
+// baseline).
+//
 // # Storage
 //
 // Two build options control how the signature methods store and boot their

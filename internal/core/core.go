@@ -22,6 +22,7 @@
 package core
 
 import (
+	"math"
 	"slices"
 	"time"
 
@@ -208,7 +209,20 @@ type SearchStats struct {
 	// directly always reports zero), so on an early-terminated query it is
 	// the realized fan-out, not the shard count of the index.
 	Shards int
+	// ShardsPruned counts shards skipped before dispatch because their
+	// partition extent provably cannot reach TauR against the query rect
+	// (adaptive planning only; always zero otherwise).
+	ShardsPruned int
+	// Plans counts, per filter-family index of a multi-filter searcher, how
+	// many shard searches the planner executed with that family. A fixed
+	// array keeps SearchStats a flat value (Merge stays allocation-free);
+	// MaxPlanFamilies bounds the family count everywhere.
+	Plans [MaxPlanFamilies]int
 }
+
+// MaxPlanFamilies caps the number of filter families an adaptive searcher
+// may hold, so per-query plan counters stay a fixed-size value type.
+const MaxPlanFamilies = 8
 
 // Elapsed returns the total query time.
 func (s SearchStats) Elapsed() time.Duration { return s.FilterTime + s.VerifyTime }
@@ -222,6 +236,10 @@ func (s *SearchStats) Merge(other SearchStats) {
 	s.FilterTime += other.FilterTime
 	s.VerifyTime += other.VerifyTime
 	s.Shards += other.Shards
+	s.ShardsPruned += other.ShardsPruned
+	for i := range s.Plans {
+		s.Plans[i] += other.Plans[i]
+	}
 }
 
 // Searcher runs the two-step SealSig algorithm: filter, then verify.
@@ -242,18 +260,60 @@ type Searcher struct {
 	stats SearchStats
 	// accum caches whether the filter certifies token memberships.
 	accum bool
+	// filters/accums hold every family of a multi-filter searcher; Use
+	// switches the active one (filter/accum mirror the active entry).
+	filters []Filter
+	accums  []bool
+	active  int
+	// memo caches exact similarities across top-k descent rounds; nil until
+	// the first descent (see verifyMemo).
+	memo *verifyMemo
 }
 
 // NewSearcher pairs a dataset with a filter.
 func NewSearcher(ds *model.Dataset, f Filter) *Searcher {
-	s := &Searcher{ds: ds, filter: f, cs: NewCandidateSet(ds.Len())}
-	if a, ok := f.(simTAccumulator); ok {
-		s.accum = a.accumulatesSimT()
+	return NewMultiSearcher(ds, f)
+}
+
+// NewMultiSearcher pairs a dataset with several interchangeable filter
+// families over the same objects. All families must be complete for the same
+// queries (every core filter is), so any of them produces identical answers;
+// an adaptive planner switches between them per query with Use. At least one
+// filter is required and at most MaxPlanFamilies are allowed.
+func NewMultiSearcher(ds *model.Dataset, filters ...Filter) *Searcher {
+	if len(filters) == 0 || len(filters) > MaxPlanFamilies {
+		panic("core: NewMultiSearcher needs 1..MaxPlanFamilies filters")
 	}
+	s := &Searcher{ds: ds, cs: NewCandidateSet(ds.Len())}
+	s.filters = filters
+	s.accums = make([]bool, len(filters))
+	for i, f := range filters {
+		if a, ok := f.(simTAccumulator); ok {
+			s.accums[i] = a.accumulatesSimT()
+		}
+	}
+	s.Use(0)
 	return s
 }
 
-// Filter returns the searcher's filter.
+// Use switches the active filter family to index i (see NewMultiSearcher).
+// It is a pair of field loads — safe to call per query on the hot path.
+func (s *Searcher) Use(i int) {
+	s.active = i
+	s.filter = s.filters[i]
+	s.accum = s.accums[i]
+}
+
+// Active returns the index of the filter family the searcher currently runs.
+func (s *Searcher) Active() int { return s.active }
+
+// NumFilters returns the number of filter families the searcher holds.
+func (s *Searcher) NumFilters() int { return len(s.filters) }
+
+// FilterAt returns family i's filter.
+func (s *Searcher) FilterAt(i int) Filter { return s.filters[i] }
+
+// Filter returns the searcher's active filter.
 func (s *Searcher) Filter() Filter { return s.filter }
 
 // beginQuery readies the candidate set for q: reset, then arm the SimT
@@ -333,6 +393,9 @@ func (s *Searcher) Search(q *model.Query) ([]Match, SearchStats) {
 // the marks (SimTAccum) instead of re-intersecting the token sets; the two
 // paths are bit-identical by construction, which the differential tests pin.
 func (s *Searcher) verify(q *model.Query, id model.ObjectID) (Match, bool) {
+	if s.memo != nil && s.memo.on {
+		return s.verifyMemoized(q, id)
+	}
 	simR := s.ds.SimR(q, id)
 	if simR < q.TauR {
 		return Match{}, false
@@ -342,6 +405,79 @@ func (s *Searcher) verify(q *model.Query, id model.ObjectID) (Match, bool) {
 		simT = s.ds.SimTAccum(q, id, s.cs.AccBits(uint32(id)))
 	} else {
 		simT = s.ds.SimT(q, id)
+	}
+	if simT < q.TauT {
+		return Match{}, false
+	}
+	return Match{ID: id, SimR: simR, SimT: simT}, true
+}
+
+// verifyMemo caches exact similarities for the duration of one top-k
+// threshold descent. Each descent round re-collects a superset of the
+// previous round's candidates (lower thresholds ⇒ longer prefixes), so
+// without the memo every repeated candidate pays exact verification again —
+// for the grid filter, whose candidates equal its scanned postings, that is
+// the dominant cost BENCH_PR3 measured. Similarities do not depend on the
+// round's thresholds, and the cached values are the exact floats verify
+// computed, so replaying them is bit-identical. simT is NaN while only simR
+// has been computed (the simR short-circuit skipped it).
+type verifyMemo struct {
+	simR  []float64
+	simT  []float64
+	mark  []uint32
+	epoch uint32
+	on    bool
+}
+
+// beginDescent arms the cross-round verification memo. Called by TopK; the
+// first call per searcher pays the memo arrays' allocation.
+func (s *Searcher) beginDescent() {
+	if s.memo == nil {
+		s.memo = &verifyMemo{
+			simR: make([]float64, s.ds.Len()),
+			simT: make([]float64, s.ds.Len()),
+			mark: make([]uint32, s.ds.Len()),
+		}
+	}
+	m := s.memo
+	m.epoch++
+	if m.epoch == 0 { // wrapped: clear marks, as CandidateSet.Reset does
+		for i := range m.mark {
+			m.mark[i] = 0
+		}
+		m.epoch = 1
+	}
+	m.on = true
+}
+
+// endDescent disarms the memo; threshold searches outside a descent verify
+// directly (no memo reads or writes).
+func (s *Searcher) endDescent() { s.memo.on = false }
+
+// verifyMemoized is verify with the descent memo consulted first.
+func (s *Searcher) verifyMemoized(q *model.Query, id model.ObjectID) (Match, bool) {
+	m := s.memo
+	obj := uint32(id)
+	var simR float64
+	if m.mark[obj] == m.epoch {
+		simR = m.simR[obj]
+	} else {
+		simR = s.ds.SimR(q, id)
+		m.mark[obj] = m.epoch
+		m.simR[obj] = simR
+		m.simT[obj] = math.NaN()
+	}
+	if simR < q.TauR {
+		return Match{}, false
+	}
+	simT := m.simT[obj]
+	if math.IsNaN(simT) {
+		if s.cs.Accumulating() {
+			simT = s.ds.SimTAccum(q, id, s.cs.AccBits(obj))
+		} else {
+			simT = s.ds.SimT(q, id)
+		}
+		m.simT[obj] = simT
 	}
 	if simT < q.TauT {
 		return Match{}, false

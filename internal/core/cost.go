@@ -1,0 +1,145 @@
+package core
+
+// Per-filter query cost estimation: the statistics surface the adaptive
+// planner (internal/planner) feeds on. Each signature filter predicts, from
+// cheap index statistics alone, how many lists it would probe, how many
+// postings it would scan, and how many candidates it would hand to exact
+// verification for a given compiled query. The estimates are deliberately
+// rough upper-bound shapes — the planner calibrates each family's
+// ns-per-posting and ns-per-candidate from live SearchStats feedback, so
+// only the relative shape per query matters, and every estimator must be
+// allocation-free (planning runs on the PR 3 zero-alloc hot path).
+
+import (
+	"github.com/sealdb/seal/internal/invidx"
+	"github.com/sealdb/seal/internal/model"
+)
+
+// CostHint is one filter family's predicted work for one query.
+type CostHint struct {
+	// Probes is the predicted number of inverted-list probes.
+	Probes float64
+	// Postings is the predicted number of postings scanned.
+	Postings float64
+	// Candidates is the predicted number of candidates reaching exact
+	// verification.
+	Candidates float64
+	// FullVerify is true when the family cannot accumulate SimT during the
+	// scan (grid cells and hashed buckets prove no token membership), so
+	// every candidate pays a full token-set intersection at verification.
+	// BENCH_PR3 measured this as the grid filter's dominant cost: its
+	// candidates equal its scanned postings and verify_ms dwarfs filter_ms.
+	FullVerify bool
+}
+
+// CostEstimator is the capability a filter declares when it can predict its
+// work for a query from index statistics. All four signature filters
+// implement it; estimates must not allocate.
+type CostEstimator interface {
+	EstimateCost(q *model.Query) CostHint
+}
+
+// FullVerifyFilter reports whether f's candidates pay full verification:
+// true exactly when the filter does not accumulate SimT during its scan
+// (grid cells and hashed buckets prove no token membership). The planner
+// seeds those families' per-candidate cost higher.
+func FullVerifyFilter(f Filter) bool {
+	if a, ok := f.(simTAccumulator); ok {
+		return !a.accumulatesSimT()
+	}
+	return true
+}
+
+// avgListLen is the mean posting-list length, the fallback density statistic
+// when per-key lengths are unavailable or too many keys would be probed.
+func avgListLen(postings, lists int) float64 {
+	if lists <= 0 {
+		return 0
+	}
+	return float64(postings) / float64(lists)
+}
+
+// prefixFraction estimates the fraction of signature elements inside the
+// probe prefix: prefix filtering skips roughly a tau-fraction of the
+// signature's weight (Lemma 1/Section 3.2), so ~(1-tau) of it is probed.
+func prefixFraction(tau float64) float64 {
+	f := 1 - tau
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// EstimateCost implements CostEstimator with exact prefix list lengths: the
+// probed lists are known (the query's signature prefix), so the posting
+// count is a LenOf sum, not a guess. Every posting becomes a candidate at
+// most once; the scan accumulates SimT, so verification is cheap.
+func (f *TokenFilter) EstimateCost(q *model.Query) CostHint {
+	_, cT := Thresholds(q)
+	if cT <= 0 {
+		return CostHint{}
+	}
+	p := invidx.PrefixLen(q.SigWeights, cT)
+	var postings float64
+	if ln, ok := f.idx.(invidx.Lener); ok {
+		for _, t := range q.SigTokens[:p] {
+			postings += float64(ln.LenOf(uint64(t)))
+		}
+	} else {
+		postings = float64(p) * avgListLen(f.idx.Postings(), f.idx.Lists())
+	}
+	return CostHint{Probes: float64(p), Postings: postings, Candidates: postings}
+}
+
+// EstimateCost implements CostEstimator from the cell counter: the counter's
+// per-cell counts are exactly the cell posting-list lengths, so a strided
+// sample over the query rect's covered cells estimates the rect's total
+// postings without touching the index; the prefix keeps ~(1-τR) of it.
+// Candidates equal scanned postings (grid cells prove spatial overlap only)
+// and each pays a full verification — the structural weakness the planner
+// must see to route verification-heavy queries elsewhere.
+func (f *GridFilter) EstimateCost(q *model.Query) CostHint {
+	cR, _ := Thresholds(q)
+	if cR <= 0 {
+		return CostHint{}
+	}
+	frac := prefixFraction(q.TauR)
+	postings := f.counter.EstimateRectPostings(q.Region, 16) * frac
+	probes := float64(f.grid.CellCount(q.Region)) * frac
+	return CostHint{Probes: probes, Postings: postings, Candidates: postings, FullVerify: true}
+}
+
+// EstimateCost implements CostEstimator: the probe count is the product of
+// the textual prefix length and the spatial one (~(1-τR) of the rect's
+// cells), and postings follow the index's mean list density. Hashed buckets
+// (Buckets > 0) cannot accumulate SimT, so their candidates pay full
+// verification.
+func (f *HybridHashFilter) EstimateCost(q *model.Query) CostHint {
+	cR, cT := Thresholds(q)
+	if cR <= 0 || cT <= 0 {
+		return CostHint{}
+	}
+	pT := float64(invidx.PrefixLen(q.SigWeights, cT))
+	pR := float64(f.grid.CellCount(q.Region)) * prefixFraction(q.TauR)
+	if pR < 1 {
+		pR = 1
+	}
+	probes := pT * pR
+	postings := probes * avgListLen(f.idx.Postings(), f.idx.Lists())
+	return CostHint{Probes: probes, Postings: postings, Candidates: postings, FullVerify: f.buckets > 0}
+}
+
+// EstimateCost implements CostEstimator: each prefix token projects the
+// query onto at most its HSS-selected grid set (≈ the per-token budget), and
+// postings follow the mean list density. (token, grid) keys certify token
+// membership, so the scan accumulates SimT.
+func (f *HierarchicalFilter) EstimateCost(q *model.Query) CostHint {
+	cR, cT := Thresholds(q)
+	if cR <= 0 || cT <= 0 {
+		return CostHint{}
+	}
+	pT := float64(invidx.PrefixLen(q.SigWeights, cT))
+	probes := pT * float64(f.budget)
+	postings := probes * avgListLen(f.idx.Postings(), f.idx.Lists())
+	return CostHint{Probes: probes, Postings: postings, Candidates: postings}
+}

@@ -69,6 +69,36 @@ type TopKOptions struct {
 	// descent (larger K, lower floors) shows up directly as more lists
 	// probed, postings scanned and candidates verified.
 	Stats *SearchStats
+
+	// Plan, when non-nil, picks the filter family (an index for Use on a
+	// multi-filter searcher) to run each descent round with, given that
+	// round's compiled threshold query. Rounds have different thresholds, so
+	// an adaptive planner re-plans per round. Every family returns the same
+	// matches, so any choice is correct.
+	Plan func(q *model.Query) int
+}
+
+// Validate checks the option invariants and applies the documented floor
+// defaults (0 → 0.05) in place. TopK calls it internally; external callers
+// that derive work from the effective floors (e.g. shard pruning against
+// FloorR) call it first so both sides agree. It is idempotent.
+func (o *TopKOptions) Validate() error {
+	if o.K < 1 {
+		return fmt.Errorf("core: top-k needs K >= 1, got %d", o.K)
+	}
+	if o.Alpha < 0 || o.Alpha > 1 {
+		return fmt.Errorf("core: alpha %g outside [0,1]", o.Alpha)
+	}
+	if o.FloorR == 0 {
+		o.FloorR = 0.05
+	}
+	if o.FloorT == 0 {
+		o.FloorT = 0.05
+	}
+	if o.FloorR < 0 || o.FloorR > 1 || o.FloorT < 0 || o.FloorT > 1 {
+		return fmt.Errorf("core: floors (%g, %g) outside (0,1]", o.FloorR, o.FloorT)
+	}
+	return nil
 }
 
 // ScoredMatch is one top-k result.
@@ -81,26 +111,18 @@ type ScoredMatch struct {
 
 // TopK runs top-k search over the searcher's filter.
 func (s *Searcher) TopK(region geo.Rect, terms []string, opts TopKOptions) ([]ScoredMatch, error) {
-	if opts.K < 1 {
-		return nil, fmt.Errorf("core: top-k needs K >= 1, got %d", opts.K)
-	}
-	if opts.Alpha < 0 || opts.Alpha > 1 {
-		return nil, fmt.Errorf("core: alpha %g outside [0,1]", opts.Alpha)
-	}
-	if opts.FloorR == 0 {
-		opts.FloorR = 0.05
-	}
-	if opts.FloorT == 0 {
-		opts.FloorT = 0.05
-	}
-	if opts.FloorR < 0 || opts.FloorR > 1 || opts.FloorT < 0 || opts.FloorT > 1 {
-		return nil, fmt.Errorf("core: floors (%g, %g) outside (0,1]", opts.FloorR, opts.FloorT)
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 
 	compile := opts.Compile
 	if compile == nil {
 		compile = s.ds.NewQuery
 	}
+	// Rounds re-verify overlapping candidate sets; the memo replays exact
+	// similarities across them (see verifyMemo).
+	s.beginDescent()
+	defer s.endDescent()
 	for score := 1.0; ; score /= 2 {
 		if opts.Interrupt != nil {
 			if err := opts.Interrupt(); err != nil {
@@ -112,6 +134,9 @@ func (s *Searcher) TopK(region geo.Rect, terms []string, opts TopKOptions) ([]Sc
 		q, err := compile(region, terms, tauR, tauT)
 		if err != nil {
 			return nil, err
+		}
+		if opts.Plan != nil {
+			s.Use(opts.Plan(q))
 		}
 		matches, rst := s.Search(q)
 		if opts.Stats != nil {

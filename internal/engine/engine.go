@@ -18,9 +18,12 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 
 	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/geo"
 	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/planner"
 )
 
 // Config sizes an engine.
@@ -34,15 +37,42 @@ type Config struct {
 	// NewFilter builds one shard's filter over that shard's dataset. It must
 	// be safe to call concurrently (each call receives a distinct dataset).
 	NewFilter func(ds *model.Dataset) (core.Filter, error)
+	// NewFilters, when non-nil, enables adaptive planning: it builds every
+	// interchangeable filter family for one shard (1..core.MaxPlanFamilies
+	// entries, every one a core.CostEstimator, same families in the same
+	// order on every shard). The engine then picks the cheapest family per
+	// (query, shard) and prunes shards whose partition extent cannot reach
+	// the query's spatial threshold. Takes precedence over NewFilter.
+	NewFilters func(ds *model.Dataset) ([]core.Filter, error)
 }
 
-// shard is one partition: a subset dataset, its filter, the local→global
+// shard is one partition: a subset dataset, its filter(s), the local→global
 // object ID mapping, and a pool of reusable searchers.
 type shard struct {
 	ds        *model.Dataset
-	filter    core.Filter
+	filter    core.Filter      // primary family (filters[0] when adaptive)
 	globalIDs []model.ObjectID // nil ⇒ identity (the single-shard fast path)
 	pool      *core.SearcherPool
+	// Adaptive planning state; nil on static engines.
+	filters []core.Filter
+	plan    *planner.ShardPlan
+}
+
+// pruned reports whether the shard provably cannot answer a query over
+// region with spatial threshold tauR (adaptive engines only).
+func (s *shard) pruned(region geo.Rect, tauR float64) bool {
+	return s.plan != nil && s.plan.Prune(region, tauR)
+}
+
+// applyPlan switches a pooled searcher to the shard's planned family for q
+// and returns the family index, or -1 when the engine is static.
+func (s *shard) applyPlan(q *model.Query, sr *core.Searcher) int {
+	if s.plan == nil {
+		return -1
+	}
+	fi := s.plan.Choose(q)
+	sr.Use(fi)
+	return fi
 }
 
 // global translates a shard-local object ID to the parent dataset's ID.
@@ -58,6 +88,11 @@ func (s *shard) global(id model.ObjectID) model.ObjectID {
 type Engine struct {
 	root   *model.Dataset
 	shards []*shard
+	// planner holds adaptive-planning state (family calibration, cache
+	// generation); nil on static engines.
+	planner *planner.Planner
+	// familyNames labels the adaptive filter families by index.
+	familyNames []string
 	// closers owns the mapped segments backing an engine opened from disk;
 	// empty for an in-memory build. See Close in segments.go.
 	closers []io.Closer
@@ -65,9 +100,10 @@ type Engine struct {
 
 // Build partitions root into cfg.Shards spatial shards and constructs each
 // shard's filter, running up to cfg.BuildParallelism constructions
-// concurrently.
+// concurrently. With cfg.NewFilters set, every shard gets all filter
+// families plus adaptive-planning state.
 func Build(root *model.Dataset, cfg Config) (*Engine, error) {
-	if cfg.NewFilter == nil {
+	if cfg.NewFilter == nil && cfg.NewFilters == nil {
 		return nil, errors.New("engine: Config.NewFilter is required")
 	}
 	if root == nil || root.Len() == 0 {
@@ -81,51 +117,153 @@ func Build(root *model.Dataset, cfg Config) (*Engine, error) {
 		n = root.Len()
 	}
 	e := &Engine{root: root}
-	if n == 1 {
-		f, err := cfg.NewFilter(root)
-		if err != nil {
-			return nil, err
-		}
-		e.shards = []*shard{{ds: root, filter: f, pool: core.NewSearcherPool(root, f)}}
-		return e, nil
-	}
-
-	parts := partition(root, n)
-	par := cfg.BuildParallelism
-	if par < 1 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	shards := make([]*shard, len(parts))
-	err := ForEach(context.Background(), len(parts), par, func(_ context.Context, i int) error {
-		sub, err := root.Subset(parts[i])
-		if err != nil {
-			return fmt.Errorf("engine: shard %d: %w", i, err)
+	buildShard := func(sub *model.Dataset, ids []model.ObjectID) (*shard, error) {
+		if cfg.NewFilters != nil {
+			filters, err := cfg.NewFilters(sub)
+			if err != nil {
+				return nil, err
+			}
+			if len(filters) == 0 || len(filters) > core.MaxPlanFamilies {
+				return nil, fmt.Errorf("engine: NewFilters returned %d families, want 1..%d", len(filters), core.MaxPlanFamilies)
+			}
+			return &shard{
+				ds: sub, filter: filters[0], globalIDs: ids,
+				pool: core.NewMultiSearcherPool(sub, filters), filters: filters,
+			}, nil
 		}
 		f, err := cfg.NewFilter(sub)
 		if err != nil {
-			return fmt.Errorf("engine: shard %d: %w", i, err)
+			return nil, err
 		}
-		shards[i] = &shard{ds: sub, filter: f, globalIDs: parts[i], pool: core.NewSearcherPool(sub, f)}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		return &shard{ds: sub, filter: f, globalIDs: ids, pool: core.NewSearcherPool(sub, f)}, nil
 	}
-	e.shards = shards
+
+	if n == 1 {
+		s, err := buildShard(root, nil)
+		if err != nil {
+			return nil, err
+		}
+		e.shards = []*shard{s}
+	} else {
+		parts := partition(root, n)
+		par := cfg.BuildParallelism
+		if par < 1 {
+			par = runtime.GOMAXPROCS(0)
+		}
+		shards := make([]*shard, len(parts))
+		err := ForEach(context.Background(), len(parts), par, func(_ context.Context, i int) error {
+			sub, err := root.Subset(parts[i])
+			if err != nil {
+				return fmt.Errorf("engine: shard %d: %w", i, err)
+			}
+			s, err := buildShard(sub, parts[i])
+			if err != nil {
+				return fmt.Errorf("engine: shard %d: %w", i, err)
+			}
+			shards[i] = s
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.shards = shards
+	}
+	if cfg.NewFilters != nil {
+		if err := e.armPlanner(); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
+}
+
+// armPlanner wires the adaptive-planning state over already-built
+// multi-filter shards: one cost-estimator set and partition extent per
+// shard, one shared calibration per family.
+func (e *Engine) armPlanner() error {
+	first := e.shards[0].filters
+	fullVerify := make([]bool, len(first))
+	names := make([]string, len(first))
+	for i, f := range first {
+		fullVerify[i] = core.FullVerifyFilter(f)
+		names[i] = f.Name()
+	}
+	pl := planner.New(fullVerify, e.root.SpatialSimFn())
+	for si, s := range e.shards {
+		if len(s.filters) != len(first) {
+			return fmt.Errorf("engine: shard %d has %d filter families, shard 0 has %d", si, len(s.filters), len(first))
+		}
+		est := make([]core.CostEstimator, len(s.filters))
+		for i, f := range s.filters {
+			ce, ok := f.(core.CostEstimator)
+			if !ok {
+				return fmt.Errorf("engine: adaptive family %s cannot estimate query cost", f.Name())
+			}
+			est[i] = ce
+		}
+		extent, hasExtent := datasetExtent(s.ds)
+		s.plan = pl.NewShard(est, extent, hasExtent)
+	}
+	e.planner = pl
+	e.familyNames = names
+	return nil
+}
+
+// datasetExtent computes the MBR of every member region of ds. Multi-region
+// objects store their footprint's MBR as Region, so the extent covers exact
+// footprints too — the soundness requirement of shard pruning.
+func datasetExtent(ds *model.Dataset) (geo.Rect, bool) {
+	if ds.Len() == 0 {
+		return geo.Rect{}, false
+	}
+	ext := ds.Region(0)
+	for i := 1; i < ds.Len(); i++ {
+		ext = ext.Extend(ds.Region(model.ObjectID(i)))
+	}
+	return ext, true
+}
+
+// observePlan feeds one executed, planned shard search back into the stats
+// record and the planner's calibration. fi is applyPlan's result; -1 (static
+// engine) is a no-op.
+func (e *Engine) observePlan(s *shard, q *model.Query, fi int, st *core.SearchStats) {
+	if fi < 0 {
+		return
+	}
+	st.Plans[fi]++
+	s.plan.Observe(q, fi, *st)
 }
 
 // Shards returns the number of shards actually built.
 func (e *Engine) Shards() int { return len(e.shards) }
 
-// FilterName identifies the per-shard filter (all shards use the same
-// configuration, so shard 0 speaks for everyone).
-func (e *Engine) FilterName() string { return e.shards[0].filter.Name() }
+// Adaptive reports whether the engine plans filter families per query.
+func (e *Engine) Adaptive() bool { return e.planner != nil }
 
-// SizeBytes sums the index footprint across shards.
+// PlanFamilyNames labels the adaptive filter families by plan index (the
+// indexes of SearchStats.Plans); nil on static engines.
+func (e *Engine) PlanFamilyNames() []string { return e.familyNames }
+
+// FilterName identifies the per-shard filter (all shards use the same
+// configuration, so shard 0 speaks for everyone). Adaptive engines list
+// every family behind the planner.
+func (e *Engine) FilterName() string {
+	if e.planner != nil {
+		return "adaptive(" + strings.Join(e.familyNames, "+") + ")"
+	}
+	return e.shards[0].filter.Name()
+}
+
+// SizeBytes sums the index footprint across shards — every family's on
+// adaptive engines (they are all resident).
 func (e *Engine) SizeBytes() int64 {
 	var n int64
 	for _, s := range e.shards {
+		if s.filters != nil {
+			for _, f := range s.filters {
+				n += f.SizeBytes()
+			}
+			continue
+		}
 		n += s.filter.SizeBytes()
 	}
 	return n

@@ -78,13 +78,20 @@ func (e *Engine) SearchBatched(ctx context.Context, q *model.Query) ([]core.Matc
 // searchSingle runs q synchronously on a single-shard engine.
 func (e *Engine) searchSingle(q *model.Query) ([]core.Match, core.SearchStats) {
 	s := e.shards[0]
+	if s.pruned(q.Region, q.TauR) {
+		// Pruned shards never ran, so they do not count toward Shards (the
+		// realized fan-out) — only toward ShardsPruned.
+		return nil, core.SearchStats{ShardsPruned: 1}
+	}
 	sr := s.pool.Get()
+	fi := s.applyPlan(q, sr)
 	matches, st := sr.Search(q)
 	// The searcher owns its match buffer; copy before it returns to the pool
 	// or the next borrower would overwrite our caller's results.
 	out := append(make([]core.Match, 0, len(matches)), matches...)
 	s.pool.Put(sr)
 	st.Shards = 1
+	e.observePlan(s, q, fi, &st)
 	return out, st
 }
 
@@ -98,6 +105,13 @@ func (e *Engine) searchScatter(ctx context.Context, q *model.Query) ([]core.Matc
 	results := make([]shardResult, len(e.shards))
 	var wg sync.WaitGroup
 	for i, s := range e.shards {
+		if s.pruned(q.Region, q.TauR) {
+			// The shard's extent provably cannot reach τR: skip the dispatch
+			// entirely — no goroutine, no searcher, no scan. It never ran, so
+			// it counts toward ShardsPruned, not Shards (the realized fan-out).
+			results[i] = shardResult{st: core.SearchStats{ShardsPruned: 1}}
+			continue
+		}
 		wg.Add(1)
 		go func(i int, s *shard) {
 			defer wg.Done()
@@ -105,6 +119,7 @@ func (e *Engine) searchScatter(ctx context.Context, q *model.Query) ([]core.Matc
 				return
 			}
 			sr := s.pool.Get()
+			fi := s.applyPlan(q, sr)
 			found, st := sr.Search(q)
 			// Copy out of the searcher's reused buffer (remapping to global
 			// IDs on the way) before returning it to the pool.
@@ -115,6 +130,7 @@ func (e *Engine) searchScatter(ctx context.Context, q *model.Query) ([]core.Matc
 			}
 			s.pool.Put(sr)
 			st.Shards = 1
+			e.observePlan(s, q, fi, &st)
 			results[i] = shardResult{matches: matches, st: st}
 		}(i, s)
 	}

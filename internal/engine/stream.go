@@ -118,7 +118,14 @@ func (e *Engine) SearchStream(ctx context.Context, q *model.Query, opts StreamOp
 				if stop() {
 					return
 				}
+				if s.pruned(q.Region, q.TauR) {
+					mu.Lock()
+					ms.stats.Merge(core.SearchStats{ShardsPruned: 1})
+					mu.Unlock()
+					return
+				}
 				sr := s.pool.Get()
+				fi := s.applyPlan(q, sr)
 				st := sr.SearchStream(q, core.StreamOptions{
 					Stop: stop,
 					Emit: func(m core.Match) bool {
@@ -139,6 +146,7 @@ func (e *Engine) SearchStream(ctx context.Context, q *model.Query, opts StreamOp
 				})
 				s.pool.Put(sr)
 				st.Shards = 1
+				e.observePlan(s, q, fi, &st)
 				mu.Lock()
 				ms.stats.Merge(st)
 				mu.Unlock()
@@ -178,8 +186,13 @@ func (e *Engine) SearchLimited(ctx context.Context, q *model.Query, limit, paral
 	stats := make([]core.SearchStats, len(e.shards))
 	err := ForEach(ctx, len(e.shards), par, func(ctx context.Context, i int) error {
 		s := e.shards[i]
+		if s.pruned(q.Region, q.TauR) {
+			stats[i] = core.SearchStats{ShardsPruned: 1}
+			return ctx.Err()
+		}
 		local := make([]core.Match, 0, localCap)
 		sr := s.pool.Get()
+		fi := s.applyPlan(q, sr)
 		stats[i] = sr.SearchStream(q, core.StreamOptions{
 			ByID: true,
 			Stop: func() bool { return ctx.Err() != nil },
@@ -190,6 +203,7 @@ func (e *Engine) SearchLimited(ctx context.Context, q *model.Query, limit, paral
 			},
 		})
 		stats[i].Shards = 1
+		e.observePlan(s, q, fi, &stats[i])
 		s.pool.Put(sr)
 		lists[i] = local
 		return ctx.Err()

@@ -8,6 +8,7 @@ import (
 
 	"github.com/sealdb/seal/internal/core"
 	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/model"
 )
 
 // TopK answers a top-k query by scatter-gather with global-threshold
@@ -33,6 +34,14 @@ func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts
 	if err := ctx.Err(); err != nil {
 		return nil, core.SearchStats{}, err
 	}
+	// Validate up front (applying the documented floor defaults in place):
+	// shard pruning compares extents against the effective FloorR — every
+	// descent round's τR is at least FloorR, so a shard whose extent cannot
+	// reach FloorR cannot contribute to any round — and option errors must
+	// surface even when every shard would be pruned.
+	if err := opts.Validate(); err != nil {
+		return nil, core.SearchStats{}, err
+	}
 	if opts.Interrupt == nil {
 		opts.Interrupt = ctx.Err
 	}
@@ -47,6 +56,20 @@ func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts
 		var st core.SearchStats
 		opts.Stats = &st
 		s := e.shards[0]
+		if s.pruned(region, opts.FloorR) {
+			return nil, core.SearchStats{ShardsPruned: 1}, nil
+		}
+		if s.plan != nil {
+			// Re-plan per descent round: rounds have different thresholds, so
+			// the cheapest family can change as the descent loosens. TopK
+			// rounds are not fed back into the calibration — their aggregate
+			// stats span several rounds and cannot be attributed per family.
+			opts.Plan = func(q *model.Query) int {
+				fi := s.plan.Choose(q)
+				st.Plans[fi]++
+				return fi
+			}
+		}
 		sr := s.pool.Get()
 		defer s.pool.Put(sr)
 		found, err := sr.TopK(region, terms, opts)
@@ -66,11 +89,22 @@ func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts
 	stats := make([]core.SearchStats, len(e.shards))
 	err := ForEach(ctx, len(e.shards), par, func(ctx context.Context, i int) error {
 		s := e.shards[i]
+		if s.pruned(region, opts.FloorR) {
+			stats[i] = core.SearchStats{ShardsPruned: 1}
+			return nil
+		}
 		o := opts
 		o.Interrupt = ctx.Err
 		o.Observe = func(complete []core.ScoredMatch) { tracker.observe(i, complete) }
 		o.StopBelow = tracker.kth
 		o.Stats = &stats[i]
+		if s.plan != nil {
+			o.Plan = func(q *model.Query) int {
+				fi := s.plan.Choose(q)
+				stats[i].Plans[fi]++
+				return fi
+			}
+		}
 		sr := s.pool.Get()
 		found, err := sr.TopK(region, terms, o)
 		s.pool.Put(sr)

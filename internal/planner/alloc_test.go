@@ -1,0 +1,153 @@
+package planner
+
+// Allocation regression tests for the planned hot path: planning must ride
+// the PR 3 zero-alloc contract, not spend it. A full planned search —
+// Choose (cache lookup or cost loop), Use, the search itself, Observe
+// (calibration feedback) — must stay heap-free at steady state for every
+// filter family the public API plans over.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/model"
+)
+
+// plannedSetup builds the adaptive family set (the same five families the
+// public WithAdaptivePlanning plans over), a multi-filter searcher, and the
+// shard plan wired to the filters' own estimators.
+func plannedSetup(t testing.TB) (*core.Searcher, *ShardPlan, []*model.Query) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	var b model.Builder
+	for i := 0; i < 500; i++ {
+		x, y := rng.Float64()*900, rng.Float64()*900
+		w, h := 1+rng.Float64()*40, 1+rng.Float64()*40
+		terms := make([]string, 1+rng.Intn(6))
+		for j := range terms {
+			terms[j] = fmt.Sprintf("tok%d", rng.Intn(30))
+		}
+		if _, err := b.Add(geo.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}, terms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hier, err := core.NewHierarchicalFilter(ds, core.HierarchicalConfig{MaxLevel: 5, GridBudget: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	token := core.NewTokenFilter(ds)
+	grid, err := core.NewGridFilter(ds, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := core.NewHybridHashFilter(ds, 64, 509)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters := []core.Filter{hier, token, grid, hybrid}
+
+	fullVerify := make([]bool, len(filters))
+	est := make([]core.CostEstimator, len(filters))
+	for i, f := range filters {
+		fullVerify[i] = core.FullVerifyFilter(f)
+		ce, ok := f.(core.CostEstimator)
+		if !ok {
+			t.Fatalf("filter %s does not estimate cost", f.Name())
+		}
+		est[i] = ce
+	}
+	p := New(fullVerify, ds.SpatialSimFn())
+	sp := p.NewShard(est, geo.Rect{MaxX: 1000, MaxY: 1000}, true)
+	s := core.NewMultiSearcher(ds, filters...)
+
+	qrng := rand.New(rand.NewSource(77))
+	queries := make([]*model.Query, 0, 8)
+	for len(queries) < 8 {
+		x, y := qrng.Float64()*800, qrng.Float64()*800
+		terms := []string{
+			fmt.Sprintf("tok%d", qrng.Intn(30)),
+			fmt.Sprintf("tok%d", qrng.Intn(30)),
+			fmt.Sprintf("tok%d", qrng.Intn(30)),
+		}
+		q, err := ds.NewQuery(geo.Rect{MinX: x, MinY: y, MaxX: x + 120, MaxY: y + 120}, terms, 0.05, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	return s, sp, queries
+}
+
+// TestPlannedSearchZeroAllocs: after warm-up (cold-start routing has run
+// every family, the grid counter's lazy summed-area table is built, and
+// every searcher buffer has grown to the workload's high-water mark), a
+// planned search must not allocate: Choose's cache probe and cost loop,
+// Use's family switch, the search, and Observe's calibration feedback are
+// all heap-free.
+func TestPlannedSearchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	s, sp, queries := plannedSetup(t)
+	// Warm-up: enough passes that cold-start sampling has routed every
+	// family (growing each family's buffers) and the planner is mature.
+	for i := 0; i < 3*matureObs/len(queries); i++ {
+		for _, q := range queries {
+			fi := sp.Choose(q)
+			s.Use(fi)
+			_, st := s.Search(q)
+			sp.Observe(q, fi, st)
+		}
+	}
+	for qi, q := range queries {
+		avg := testing.AllocsPerRun(20, func() {
+			fi := sp.Choose(q)
+			s.Use(fi)
+			_, st := s.Search(q)
+			sp.Observe(q, fi, st)
+		})
+		if avg != 0 {
+			t.Errorf("planned search query %d: %.1f allocs/op, want 0", qi, avg)
+		}
+	}
+}
+
+// TestPlannedStreamByIDZeroAllocs: the ID-ordered streaming path under
+// planning — the path Engine.SearchStream rides per shard — must stay
+// allocation-free too.
+func TestPlannedStreamByIDZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	s, sp, queries := plannedSetup(t)
+	sink := 0
+	opts := core.StreamOptions{ByID: true, Emit: func(core.Match) bool { sink++; return true }}
+	for i := 0; i < 3*matureObs/len(queries); i++ {
+		for _, q := range queries {
+			fi := sp.Choose(q)
+			s.Use(fi)
+			st := s.SearchStream(q, opts)
+			sp.Observe(q, fi, st)
+		}
+	}
+	for qi, q := range queries {
+		avg := testing.AllocsPerRun(20, func() {
+			fi := sp.Choose(q)
+			s.Use(fi)
+			st := s.SearchStream(q, opts)
+			sp.Observe(q, fi, st)
+		})
+		if avg != 0 {
+			t.Errorf("planned stream query %d: %.1f allocs/op, want 0", qi, avg)
+		}
+	}
+	_ = sink
+}

@@ -1,0 +1,382 @@
+// Package planner implements adaptive per-query planning for the sharded
+// SEAL engine: given several interchangeable filter families over the same
+// shard (all complete — bit-identical answers, different work profiles), it
+// estimates each family's cost for the query at hand from cheap index
+// statistics (core.CostEstimator), calibrates those estimates with live
+// SearchStats feedback, and picks the cheapest family per (query, shard).
+// It also prunes shards whose partition extent provably cannot reach the
+// query's spatial threshold, shrinking realized fan-out before any shard
+// work is dispatched.
+//
+// Everything here is engineered to stay off the hot path: plan decisions
+// are cached per query-signature shape in a fixed-size lock-free table, the
+// estimators and the cache lookup allocate nothing, and feedback runs on
+// plain atomics. Races on the cache and the calibration are benign by
+// design — every family returns the same answers, so a stale or colliding
+// plan entry costs speed, never correctness.
+package planner
+
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/model"
+)
+
+// Cost-model seeds, in the relative units of gridsig.DefaultCostModel
+// (Pi1 : Pi2 = scan one posting : verify one candidate = 1 : 5). The first
+// live observation per family replaces the seed with measured nanoseconds;
+// until then only the ratios matter.
+const (
+	seedNsPosting   = 1
+	seedNsCandidate = 5
+	// fullVerifyPenalty scales the candidate seed for families that cannot
+	// accumulate SimT during the scan (grid cells, hashed buckets): each of
+	// their candidates pays a full token-set intersection at verification,
+	// the cost BENCH_PR3 measured dominating the grid filter.
+	fullVerifyPenalty = 4
+	// decayFilterWork / decayVerifyCand bound the calibration sums: past
+	// these totals both numerator and denominator are halved, an exponential
+	// window that lets the ratio keep tracking workload drift.
+	decayFilterWork = 1 << 22
+	decayVerifyCand = 1 << 20
+	// coldStartSamples is how many searches each family is routed before the
+	// cost model is trusted at all. The first sample per family is discarded
+	// (a family's first search pays cold caches and page faults — one
+	// inflated sample must not price a family out of rotation forever), so
+	// coldStartSamples-1 real observations seed each lane.
+	coldStartSamples = 4
+	// refreshEvery / refreshFactor bound steady-state re-exploration: every
+	// refreshEvery-th choice per shard, one family (rotating) is re-run for
+	// calibration — but only when its predicted cost is within refreshFactor
+	// of the predicted best, so a genuinely catastrophic family is never
+	// forced onto a query it would ruin, while a family mispriced by stale or
+	// noisy feedback keeps getting chances to correct itself. Both knobs are
+	// deliberately stingy: each detour costs up to (refreshFactor-1)× the
+	// best family on that query, a tax every workload pays forever, so the
+	// budget is a fraction of a percent — re-exploration is a correctness
+	// valve for drift, not a learning accelerator.
+	refreshEvery  = 256
+	refreshFactor = 2
+	// matureObs is how many total live observations the planner needs before
+	// plan decisions are cached. Cold-start routing leaves every lane with only
+	// a couple of counted samples; a plan cached under that rough calibration
+	// would stick (cache hits skip re-costing, and drift never fires because
+	// the calibration is not moving — the pick was simply made too early).
+	// Until maturity the cost loop runs per query, so picks keep improving as
+	// the lanes fill in.
+	matureObs = 64
+	// obsEvery subsamples calibration feedback once the planner is mature:
+	// only every obsEvery-th choice per shard is observed. Feeding every query
+	// back would put EstimateCost on the hot path twice (once to choose, once
+	// to observe) for a calibration that long-run sums barely move; refresh
+	// ticks stay observed because refreshEvery is a multiple of obsEvery.
+	obsEvery = 16
+	// driftRatio bounds how far the calibration may move from the value the
+	// plan cache was filled under before the cache generation is bumped.
+	driftRatio = 1.5
+	// fullVerifyRisk is the risk margin full-verification families must clear:
+	// their predicted cost counts fullVerifyRisk× against them when competing
+	// with an accumulating family. A full-verify family's realized cost is
+	// bimodal — near-free when its cells are cold, an entire token-set
+	// intersection per candidate when they are hot — and the calibrated
+	// linear model prices the average of both modes, so a marginal "grid is
+	// 2× cheaper" prediction routinely loses warm. The genuine grid wins are
+	// predicted 5-50× cheaper and sail over the margin; the marginal picks it
+	// blocks trade a few hundred nanoseconds of upside against multi-µs
+	// tails.
+	fullVerifyRisk = 2.5
+	// pruneEps is the relative safety margin on the shard-prune bound: the
+	// exact float bound is computed with a handful of rounded operations, so
+	// pruning only when bound·(1+eps) < τR absorbs those ulps. Same
+	// discipline as invidx.Eps on the prefix cutoffs.
+	pruneEps = 1e-9
+)
+
+// Planner holds the engine-wide state of adaptive planning: one calibration
+// lane per filter family, shared by every shard (the families are the same
+// filters everywhere; per-shard data skew is carried by the per-shard
+// estimators, not the calibration).
+type Planner struct {
+	n   int
+	sim model.SpatialSim
+	// fullVerify marks families whose candidates pay full verification.
+	fullVerify [core.MaxPlanFamilies]bool
+	// Per-family calibration: work-weighted nanosecond sums rather than an
+	// EWMA of per-query ratios — a single query's FilterTime at µs scale is
+	// dominated by clock and scheduler noise, and a noisy first sample would
+	// misprice a family out of rotation permanently. Ratios of long-run sums
+	// amortize that noise; decay (halving past decay*) keeps them tracking
+	// drift. samples counts observations per family for the cold-start gate.
+	filterNS   [core.MaxPlanFamilies]atomic.Uint64 // Σ filter ns
+	filterWork [core.MaxPlanFamilies]atomic.Uint64 // Σ predicted postings + 4·probes
+	verifyNS   [core.MaxPlanFamilies]atomic.Uint64 // Σ verify ns
+	verifyCand [core.MaxPlanFamilies]atomic.Uint64 // Σ predicted candidates
+	samples    [core.MaxPlanFamilies]atomic.Uint32 // observations per family
+	obs        atomic.Uint64                       // total observations (maturity gate)
+	refreshCur atomic.Uint32                       // rotating re-exploration cursor
+	// applied/appliedNP snapshot nsCandidate/nsPosting at the last
+	// generation bump; either lane drifting past driftRatio from its
+	// snapshot invalidates every shard's plan cache.
+	applied   [core.MaxPlanFamilies]atomic.Uint64
+	appliedNP [core.MaxPlanFamilies]atomic.Uint64
+	gen       atomic.Uint32
+}
+
+// New creates a planner for n filter families. fullVerify flags, per family,
+// whether its candidates pay full verification (core filters: true exactly
+// when the filter does not accumulate SimT); sim selects the spatial
+// similarity the prune bound must be sound for.
+func New(fullVerify []bool, sim model.SpatialSim) *Planner {
+	if len(fullVerify) == 0 || len(fullVerify) > core.MaxPlanFamilies {
+		panic("planner: need 1..core.MaxPlanFamilies families")
+	}
+	p := &Planner{n: len(fullVerify), sim: sim}
+	for f, fv := range fullVerify {
+		p.fullVerify[f] = fv
+		p.applied[f].Store(math.Float64bits(p.nsCandidate(f)))
+		p.appliedNP[f].Store(math.Float64bits(p.nsPosting(f)))
+	}
+	return p
+}
+
+// nsPosting is family f's calibrated nanoseconds per unit of filter work
+// (one posting scanned; a probe counts 4). Before live feedback it falls
+// back to the unit seed, so cold-start costs compare by predicted counts.
+func (p *Planner) nsPosting(f int) float64 {
+	if work := p.filterWork[f].Load(); work > 0 {
+		return float64(p.filterNS[f].Load()) / float64(work)
+	}
+	return seedNsPosting
+}
+
+// nsCandidate is family f's calibrated nanoseconds per candidate verified,
+// with the full-verification penalty applied to the cold-start seed.
+func (p *Planner) nsCandidate(f int) float64 {
+	if cand := p.verifyCand[f].Load(); cand > 0 {
+		return float64(p.verifyNS[f].Load()) / float64(cand)
+	}
+	if p.fullVerify[f] {
+		return seedNsCandidate * fullVerifyPenalty
+	}
+	return seedNsCandidate
+}
+
+// Families returns the number of filter families planned over.
+func (p *Planner) Families() int { return p.n }
+
+// cacheSize is the per-shard plan-cache slot count (a power of two).
+const cacheSize = 512
+
+// ShardPlan is one shard's planning state: the shard's own cost estimators
+// (index statistics differ per shard), its partition extent for pruning, and
+// a fixed-size plan cache keyed by query shape.
+type ShardPlan struct {
+	p   *Planner
+	est []core.CostEstimator
+	// extent is the MBR of the shard's member regions; hasExtent is false
+	// for empty shards (which trivially prune for any positive threshold).
+	extent    geo.Rect
+	hasExtent bool
+	// cache entries pack (key high bits | generation byte | family+1 byte);
+	// zero means empty. Collisions and stale reads return a valid family —
+	// wrong only in speed, so no locking is needed.
+	cache [cacheSize]atomic.Uint64
+	// tick counts Choose calls, pacing the refresh re-exploration.
+	tick atomic.Uint64
+}
+
+// NewShard creates the planning state for one shard. est must hold exactly
+// one estimator per family, index-aligned with the searcher's filters;
+// hasExtent is false for shards with no members.
+func (p *Planner) NewShard(est []core.CostEstimator, extent geo.Rect, hasExtent bool) *ShardPlan {
+	if len(est) != p.n {
+		panic("planner: estimator count does not match family count")
+	}
+	return &ShardPlan{p: p, est: est, extent: extent, hasExtent: hasExtent}
+}
+
+// Extent returns the shard's partition extent (ok false for empty shards).
+func (sp *ShardPlan) Extent() (geo.Rect, bool) { return sp.extent, sp.hasExtent }
+
+// Prune reports whether the shard can be skipped for a query over region
+// with spatial threshold tauR: the similarity of the query to ANY member
+// object is bounded by the overlap of the query rect with the shard extent
+// E. With A = |region ∩ E| and |q| = |region|, every member o satisfies
+// |q ∩ o| ≤ A (o's footprint lies inside E, MBRs included), so
+//
+//	Jaccard: simR = |q∩o|/|q∪o| ≤ A/|q|
+//	Dice:    simR = 2|q∩o|/(|q|+|o|) ≤ 2A/(|q|+A)   (x ↦ 2x/(|q|+x) grows)
+//
+// The shard is pruned only when the bound clears τR by the pruneEps margin,
+// so float rounding can never drop a true answer — the differential tests
+// pin bit-identity across pruned and unpruned execution.
+func (sp *ShardPlan) Prune(region geo.Rect, tauR float64) bool {
+	if tauR <= 0 {
+		return false
+	}
+	if !sp.hasExtent {
+		return true // no members: nothing can reach a positive threshold
+	}
+	qa := region.Area()
+	if qa <= 0 {
+		return false
+	}
+	a := region.IntersectionArea(sp.extent)
+	var bound float64
+	if sp.p.sim == model.SpaceDice {
+		bound = 2 * a / (qa + a)
+	} else {
+		bound = a / qa
+	}
+	return bound*(1+pruneEps) < tauR
+}
+
+// Choose picks the cheapest filter family for q on this shard, consulting
+// the plan cache first. It never allocates.
+//
+// Until every family has coldStartSamples live observations, Choose routes
+// round-robin instead of trusting the model: costs are only comparable once
+// every lane is measured, and a family the model overprices at cold start
+// would otherwise never run and never get corrected. Steady-state, every
+// refreshEvery-th choice re-runs one rotating family (when its predicted
+// cost is within refreshFactor of the best) so calibration keeps tracking
+// the workload. Both detours are bounded, and every family returns the same
+// answers, so they can only cost speed.
+func (sp *ShardPlan) Choose(q *model.Query) int {
+	if sp.p.n < 2 {
+		return 0
+	}
+	for f := 0; f < sp.p.n; f++ {
+		if sp.p.samples[f].Load() < coldStartSamples {
+			return f
+		}
+	}
+	refresh := sp.tick.Add(1)%refreshEvery == 0
+	if !refresh {
+		key := planKey(q)
+		slot := key & (cacheSize - 1)
+		gen := sp.p.gen.Load()
+		if e := sp.cache[slot].Load(); e != 0 &&
+			e&^0xffff == key&^0xffff && byte(e>>8) == byte(gen) {
+			return int(e&0xff) - 1
+		}
+	}
+	best, bestCost := 0, math.Inf(1)
+	var costs [core.MaxPlanFamilies]float64
+	for f := 0; f < sp.p.n; f++ {
+		costs[f] = sp.p.cost(f, sp.est[f].EstimateCost(q))
+		if sp.p.fullVerify[f] {
+			costs[f] *= fullVerifyRisk // risk-adjusted, see fullVerifyRisk
+		}
+		if costs[f] < bestCost {
+			best, bestCost = f, costs[f]
+		}
+	}
+	if refresh {
+		// Re-observe the cursor family unless it is predicted to ruin this
+		// query; either way the choice is not cached.
+		if cur := int(sp.p.refreshCur.Add(1)) % sp.p.n; costs[cur] <= bestCost*refreshFactor {
+			return cur
+		}
+		return best
+	}
+	if sp.p.obs.Load() >= matureObs {
+		key := planKey(q)
+		sp.cache[key&(cacheSize-1)].Store(key&^0xffff | uint64(byte(sp.p.gen.Load()))<<8 | uint64(best+1))
+	}
+	return best
+}
+
+// cost converts a family's hint into calibrated nanoseconds. Probes ride the
+// posting lane: a probe is a table find plus a cutoff search, a small
+// constant multiple of a posting scan.
+func (p *Planner) cost(f int, h core.CostHint) float64 {
+	return p.nsPosting(f)*(h.Postings+4*h.Probes) + p.nsCandidate(f)*h.Candidates
+}
+
+// Observe feeds one executed shard search for q back into family f's
+// calibration sums. The denominators are the family's own PREDICTED work
+// units for q, not the realized counters from st: calibration divides
+// measured time by what the estimator said, so each family's ns-per-unit
+// absorbs that family's systematic prediction bias (a filter whose estimate
+// is a 10× upper bound gets a 10× cheaper unit, and predicted × unit still
+// lands on real nanoseconds). Dividing by realized counts instead would
+// structurally overprice every conservative estimator. When a calibration
+// lane drifts past driftRatio from the value the plan caches were filled
+// under, the cache generation is bumped so stale plans re-cost. Racing
+// updates (and the benign halving races in the decay) can only smear the
+// ratios slightly — every family returns the same answers, so calibration
+// error costs speed, never correctness.
+func (sp *ShardPlan) Observe(q *model.Query, f int, st core.SearchStats) {
+	if f < 0 || f >= sp.p.n {
+		return
+	}
+	if sp.p.obs.Load() >= matureObs && sp.tick.Load()%obsEvery != 0 {
+		return // mature: subsample feedback, keep EstimateCost off the hot path
+	}
+	sp.p.observe(f, sp.est[f].EstimateCost(q), st)
+}
+
+func (p *Planner) observe(f int, h core.CostHint, st core.SearchStats) {
+	if p.samples[f].Add(1) == 1 {
+		return // discard the cold-cache first sample (see coldStartSamples)
+	}
+	p.obs.Add(1)
+	if work := uint64(h.Postings + 4*h.Probes); work > 0 && st.FilterTime > 0 {
+		p.filterNS[f].Add(uint64(st.FilterTime.Nanoseconds()))
+		if p.filterWork[f].Add(work) > decayFilterWork {
+			p.filterNS[f].Store(p.filterNS[f].Load() >> 1)
+			p.filterWork[f].Store(p.filterWork[f].Load() >> 1)
+		}
+		p.checkDrift(&p.appliedNP[f], p.nsPosting(f))
+	}
+	if cand := uint64(h.Candidates); cand > 0 && st.VerifyTime > 0 {
+		p.verifyNS[f].Add(uint64(st.VerifyTime.Nanoseconds()))
+		if p.verifyCand[f].Add(cand) > decayVerifyCand {
+			p.verifyNS[f].Store(p.verifyNS[f].Load() >> 1)
+			p.verifyCand[f].Store(p.verifyCand[f].Load() >> 1)
+		}
+		p.checkDrift(&p.applied[f], p.nsCandidate(f))
+	}
+}
+
+// checkDrift bumps the plan-cache generation when a calibration lane has
+// drifted past driftRatio from the value the caches were filled under.
+func (p *Planner) checkDrift(applied *atomic.Uint64, now float64) {
+	was := math.Float64frombits(applied.Load())
+	if was > 0 && (now > was*driftRatio || now < was/driftRatio) {
+		applied.Store(math.Float64bits(now))
+		p.gen.Add(1)
+	}
+}
+
+// planKey condenses a compiled query — signature length, exact rect,
+// quantized thresholds — into a cache key. The rect enters with full
+// coordinate bits, not just its area: grid-family cost depends on WHERE the
+// rect sits (hot cells vs cold), so two same-sized rects can have opposite
+// best families, and a key that pooled them would cache a pick that is
+// catastrophic for one of the two. Distinct queries that still collide share
+// a plan entry; the entry is a valid family either way, so a collision can
+// only cost speed.
+func planKey(q *model.Query) uint64 {
+	k := uint64(len(q.SigTokens)) & 0xff
+	k = k<<5 | uint64(q.TauR*16)&0x1f
+	k = k<<5 | uint64(q.TauT*16)&0x1f
+	k = mix64(k ^ math.Float64bits(q.Region.MinX))
+	k = mix64(k ^ math.Float64bits(q.Region.MinY))
+	k = mix64(k ^ math.Float64bits(q.Region.MaxX))
+	return mix64(k ^ math.Float64bits(q.Region.MaxY))
+}
+
+// mix64 is the splitmix64 finalizer, matching invidx's directory hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

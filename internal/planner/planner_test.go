@@ -1,0 +1,316 @@
+package planner
+
+// White-box unit tests for the adaptive planner: prune-bound soundness, the
+// cold-start / maturity / cache / drift state machine, the full-verification
+// risk margin, and the calibration arithmetic. The end-to-end guarantees
+// (bit-identical answers, realized fan-out, measured speedups) live in the
+// public differential tests and the bench planner experiment; here each knob
+// is pinned in isolation with stub estimators so a tuning change that breaks
+// an invariant fails loudly.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/model"
+)
+
+// stubEst returns a fixed hint regardless of query: the planner's choice
+// logic only sees hints, so stubs isolate it from real index statistics.
+type stubEst struct{ h core.CostHint }
+
+func (s stubEst) EstimateCost(*model.Query) core.CostHint { return s.h }
+
+// testQuery compiles one real query (Choose needs compiled signature tokens
+// and thresholds) over a tiny dataset.
+func testQuery(t testing.TB, region geo.Rect, tauR, tauT float64) *model.Query {
+	t.Helper()
+	ds := testDataset(t, 20)
+	q, err := ds.NewQuery(region, []string{"tok1", "tok2"}, tauR, tauT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func testDataset(t testing.TB, n int) *model.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var b model.Builder
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64()*90, rng.Float64()*90
+		terms := make([]string, 1+rng.Intn(4))
+		for j := range terms {
+			terms[j] = fmt.Sprintf("tok%d", rng.Intn(12))
+		}
+		if _, err := b.Add(geo.Rect{MinX: x, MinY: y, MaxX: x + 5, MaxY: y + 5}, terms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// calibrate forces both lanes of family f to exactly ns nanoseconds per unit
+// and marks the family past cold start, so tests control costs directly.
+func calibrate(p *Planner, f int, ns uint64) {
+	p.filterNS[f].Store(ns * 1000)
+	p.filterWork[f].Store(1000)
+	p.verifyNS[f].Store(ns * 1000)
+	p.verifyCand[f].Store(1000)
+	p.samples[f].Store(coldStartSamples)
+}
+
+// mature pushes the planner past the plan-cache maturity gate.
+func mature(p *Planner) { p.obs.Store(matureObs) }
+
+func TestPruneSoundness(t *testing.T) {
+	extent := geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	// Query rects against a 10×10 extent: inside (bound 1), disjoint
+	// (bound 0), and half-overlapping (A = |q|/2).
+	inside := geo.Rect{MinX: 2, MinY: 2, MaxX: 6, MaxY: 6}
+	disjoint := geo.Rect{MinX: 20, MinY: 20, MaxX: 24, MaxY: 24}
+	half := geo.Rect{MinX: 5, MinY: 0, MaxX: 15, MaxY: 10} // A = 50, |q| = 100
+
+	cases := []struct {
+		name   string
+		sim    model.SpatialSim
+		region geo.Rect
+		tauR   float64
+		want   bool
+	}{
+		{"jaccard/inside-never-pruned", model.SpaceJaccard, inside, 1.0, false},
+		{"jaccard/disjoint-pruned", model.SpaceJaccard, disjoint, 0.01, true},
+		{"jaccard/half-below-bound", model.SpaceJaccard, half, 0.5, false},
+		{"jaccard/half-above-bound", model.SpaceJaccard, half, 0.51, true},
+		{"jaccard/tau-zero-never", model.SpaceJaccard, disjoint, 0, false},
+		// Dice bound for the half case: 2A/(|q|+A) = 100/150 = 2/3 — looser
+		// than Jaccard's 1/2, so τR=0.6 must NOT prune under Dice.
+		{"dice/half-below-bound", model.SpaceDice, half, 0.6, false},
+		{"dice/half-above-bound", model.SpaceDice, half, 0.67, true},
+		{"dice/disjoint-pruned", model.SpaceDice, disjoint, 0.01, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New([]bool{false}, tc.sim)
+			sp := p.NewShard([]core.CostEstimator{stubEst{}}, extent, true)
+			if got := sp.Prune(tc.region, tc.tauR); got != tc.want {
+				t.Errorf("Prune(%+v, %v) = %v, want %v", tc.region, tc.tauR, got, tc.want)
+			}
+		})
+	}
+
+	t.Run("empty-shard", func(t *testing.T) {
+		p := New([]bool{false}, model.SpaceJaccard)
+		sp := p.NewShard([]core.CostEstimator{stubEst{}}, geo.Rect{}, false)
+		if !sp.Prune(inside, 0.01) {
+			t.Error("empty shard must prune for any positive threshold")
+		}
+		if sp.Prune(inside, 0) {
+			t.Error("empty shard must not prune at τR = 0 (spatial filtering off)")
+		}
+	})
+
+	t.Run("zero-area-query", func(t *testing.T) {
+		p := New([]bool{false}, model.SpaceJaccard)
+		sp := p.NewShard([]core.CostEstimator{stubEst{}}, extent, true)
+		line := geo.Rect{MinX: 1, MinY: 1, MaxX: 5, MaxY: 1}
+		if sp.Prune(line, 0.5) {
+			t.Error("degenerate query rect must not prune (bound undefined)")
+		}
+	})
+}
+
+func TestColdStartRoundRobin(t *testing.T) {
+	q := testQuery(t, geo.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50}, 0.1, 0.1)
+	p := New([]bool{false, false, false}, model.SpaceJaccard)
+	est := []core.CostEstimator{
+		stubEst{core.CostHint{Postings: 1, Candidates: 1}},
+		stubEst{core.CostHint{Postings: 1e6, Candidates: 1e6}}, // awful on paper
+		stubEst{core.CostHint{Postings: 10, Candidates: 10}},
+	}
+	sp := p.NewShard(est, geo.Rect{MaxX: 100, MaxY: 100}, true)
+
+	// Until every family holds coldStartSamples observations, Choose must
+	// route round-robin — even family 1, which the raw hints price out by
+	// 6 orders of magnitude. Trusting the model before it is calibrated
+	// would strand exactly such families. Each family reports a measured
+	// time proportional to (f+1), so after cold start family 0 is the
+	// genuinely cheapest per predicted unit.
+	for f := 0; f < 3; f++ {
+		st := core.SearchStats{FilterTime: 1000 * time.Duration(f+1), VerifyTime: 1000 * time.Duration(f+1)}
+		for i := 0; i < coldStartSamples; i++ {
+			got := sp.Choose(q)
+			if got != f {
+				t.Fatalf("cold choice = family %d, want %d (sample %d)", got, f, i)
+			}
+			sp.Observe(q, got, st)
+		}
+	}
+	// All lanes filled: the model takes over and picks the cheapest.
+	if got := sp.Choose(q); got != 0 {
+		t.Fatalf("post-cold choice = family %d, want 0 (cheapest hint)", got)
+	}
+}
+
+func TestMaturityGatesPlanCache(t *testing.T) {
+	q := testQuery(t, geo.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50}, 0.1, 0.1)
+	p := New([]bool{false, false}, model.SpaceJaccard)
+	calibrate(p, 0, 1)
+	calibrate(p, 1, 1)
+	est := []core.CostEstimator{
+		stubEst{core.CostHint{Postings: 10, Candidates: 10}},
+		stubEst{core.CostHint{Postings: 100, Candidates: 100}},
+	}
+	sp := p.NewShard(est, geo.Rect{MaxX: 100, MaxY: 100}, true)
+
+	slot := planKey(q) & (cacheSize - 1)
+	if got := sp.Choose(q); got != 0 {
+		t.Fatalf("choice = %d, want 0", got)
+	}
+	if e := sp.cache[slot].Load(); e != 0 {
+		t.Fatalf("plan cached before maturity (obs=%d < %d): entry %#x", p.obs.Load(), matureObs, e)
+	}
+
+	mature(p)
+	if got := sp.Choose(q); got != 0 {
+		t.Fatalf("mature choice = %d, want 0", got)
+	}
+	e := sp.cache[slot].Load()
+	if e == 0 {
+		t.Fatal("mature choice did not cache its plan")
+	}
+	if fam := int(e&0xff) - 1; fam != 0 {
+		t.Fatalf("cached family = %d, want 0", fam)
+	}
+
+	// A cached plan short-circuits the cost loop: make family 0's hints
+	// catastrophic and the stale (same-generation) entry must still win...
+	sp.est[0] = stubEst{core.CostHint{Postings: 1e9, Candidates: 1e9}}
+	if got := sp.Choose(q); got != 0 {
+		t.Fatalf("cache hit = %d, want stale family 0", got)
+	}
+	// ...until the generation bumps, which forces a re-cost to family 1.
+	p.gen.Add(1)
+	if got := sp.Choose(q); got != 1 {
+		t.Fatalf("post-bump choice = %d, want 1", got)
+	}
+	if fam := int(sp.cache[slot].Load()&0xff) - 1; fam != 1 {
+		t.Fatalf("re-cached family = %d, want 1", fam)
+	}
+}
+
+func TestFullVerifyRiskMargin(t *testing.T) {
+	q := testQuery(t, geo.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50}, 0.1, 0.1)
+	// Family 1 is full-verify: its predicted cost counts fullVerifyRisk×
+	// against it. Marginally cheaper on paper must lose; decisively cheaper
+	// must still win.
+	marginal := 1 / (fullVerifyRisk - 0.5) // predicted cheaper, inside the margin
+	decisive := 1 / (fullVerifyRisk + 0.5) // predicted cheaper, clears the margin
+	for _, tc := range []struct {
+		name string
+		frac float64
+		want int
+	}{
+		{"marginal-grid-win-blocked", marginal, 0},
+		{"decisive-grid-win-allowed", decisive, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New([]bool{false, true}, model.SpaceJaccard)
+			calibrate(p, 0, 1)
+			calibrate(p, 1, 1)
+			est := []core.CostEstimator{
+				stubEst{core.CostHint{Postings: 1000}},
+				stubEst{core.CostHint{Postings: 1000 * tc.frac, FullVerify: true}},
+			}
+			sp := p.NewShard(est, geo.Rect{MaxX: 100, MaxY: 100}, true)
+			if got := sp.Choose(q); got != tc.want {
+				t.Fatalf("choice = %d, want %d (frac %.3f)", got, tc.want, tc.frac)
+			}
+		})
+	}
+}
+
+func TestObserveCalibration(t *testing.T) {
+	p := New([]bool{false}, model.SpaceJaccard)
+	h := core.CostHint{Probes: 10, Postings: 60, Candidates: 50}
+	st := core.SearchStats{FilterTime: 200, VerifyTime: 100}
+
+	// The first sample per family is discarded (cold caches), so one observe
+	// must leave the seeds untouched.
+	p.observe(0, h, st)
+	if got := p.nsPosting(0); got != seedNsPosting {
+		t.Fatalf("nsPosting after discarded sample = %v, want seed %v", got, float64(seedNsPosting))
+	}
+	if p.obs.Load() != 0 {
+		t.Fatalf("obs counted the discarded sample")
+	}
+
+	// The second observe lands: both lanes divide measured ns by the
+	// PREDICTED work units (postings + 4·probes = 100; candidates = 50).
+	p.observe(0, h, st)
+	if got, want := p.nsPosting(0), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("nsPosting = %v, want %v (200ns / 100 units)", got, want)
+	}
+	if got, want := p.nsCandidate(0), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("nsCandidate = %v, want %v (100ns / 50 candidates)", got, want)
+	}
+	if p.obs.Load() != 1 {
+		t.Fatalf("obs = %d, want 1", p.obs.Load())
+	}
+
+	// cost() prices the hint with the calibrated lanes:
+	// 2·(60 + 4·10) + 2·50 = 300.
+	if got, want := p.cost(0, h), 300.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", got, want)
+	}
+}
+
+func TestDriftBumpsGeneration(t *testing.T) {
+	p := New([]bool{false}, model.SpaceJaccard)
+	p.applied[0].Store(math.Float64bits(10))
+	gen := p.gen.Load()
+	p.checkDrift(&p.applied[0], 10*driftRatio*0.99)
+	if p.gen.Load() != gen {
+		t.Fatal("within-ratio drift bumped the generation")
+	}
+	p.checkDrift(&p.applied[0], 10*driftRatio*1.01)
+	if p.gen.Load() != gen+1 {
+		t.Fatal("past-ratio drift did not bump the generation")
+	}
+	// The snapshot re-anchors on the bump, so the same value again is quiet.
+	p.checkDrift(&p.applied[0], 10*driftRatio*1.01)
+	if p.gen.Load() != gen+1 {
+		t.Fatal("re-anchored snapshot bumped again without new drift")
+	}
+}
+
+func TestPlanKeyPositionSensitivity(t *testing.T) {
+	ds := testDataset(t, 20)
+	mk := func(x, y float64) *model.Query {
+		q, err := ds.NewQuery(geo.Rect{MinX: x, MinY: y, MaxX: x + 10, MaxY: y + 10},
+			[]string{"tok1", "tok2"}, 0.3, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	a, b, a2 := mk(0, 0), mk(40, 40), mk(0, 0)
+	if planKey(a) != planKey(a2) {
+		t.Fatal("identical queries produced different plan keys")
+	}
+	// Same shape, same thresholds, different position: grid cost can differ
+	// by orders of magnitude between the two, so they must not share a plan
+	// entry (the PR's worst regression came from exactly this pooling).
+	if planKey(a) == planKey(b) {
+		t.Fatal("same-shaped rects at different positions share a plan key")
+	}
+}

@@ -87,13 +87,15 @@ type wireMatch struct {
 
 // wireStats is the JSON form of a query's cost breakdown.
 type wireStats struct {
-	Candidates      int     `json:"candidates"`
-	Results         int     `json:"results"`
-	ListsProbed     int     `json:"lists_probed"`
-	PostingsScanned int     `json:"postings_scanned"`
-	FilterMS        float64 `json:"filter_ms"`
-	VerifyMS        float64 `json:"verify_ms"`
-	ShardFanout     int     `json:"shard_fanout"`
+	Candidates      int            `json:"candidates"`
+	Results         int            `json:"results"`
+	ListsProbed     int            `json:"lists_probed"`
+	PostingsScanned int            `json:"postings_scanned"`
+	FilterMS        float64        `json:"filter_ms"`
+	VerifyMS        float64        `json:"verify_ms"`
+	ShardFanout     int            `json:"shard_fanout"`
+	ShardsPruned    int            `json:"shards_pruned,omitempty"`
+	PlanChoices     map[string]int `json:"plan_choices,omitempty"`
 }
 
 func statsWire(st *seal.Stats) *wireStats {
@@ -108,6 +110,8 @@ func statsWire(st *seal.Stats) *wireStats {
 		FilterMS:        float64(st.FilterTime.Microseconds()) / 1e3,
 		VerifyMS:        float64(st.VerifyTime.Microseconds()) / 1e3,
 		ShardFanout:     st.ShardFanout,
+		ShardsPruned:    st.ShardsPruned,
+		PlanChoices:     st.PlanChoices,
 	}
 }
 
@@ -417,6 +421,9 @@ type statusResponse struct {
 		PostingsScanned uint64  `json:"postings_scanned_total"`
 		P50MS           float64 `json:"query_p50_ms"`
 		P99MS           float64 `json:"query_p99_ms"`
+		// Adaptive planning totals; omitted on a static index.
+		ShardsPruned uint64            `json:"shards_pruned_total,omitempty"`
+		PlanChoices  map[string]uint64 `json:"plan_choices_total,omitempty"`
 	} `json:"serving"`
 }
 
@@ -452,6 +459,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	resp.Serving.PostingsScanned = s.metrics.PostingsScanned()
 	resp.Serving.P50MS = s.metrics.LatencyQuantile("query", 0.50) * 1e3
 	resp.Serving.P99MS = s.metrics.LatencyQuantile("query", 0.99) * 1e3
+	resp.Serving.ShardsPruned = s.metrics.ShardsPruned()
+	if pc := s.metrics.PlanChoices(); len(pc) > 0 {
+		resp.Serving.PlanChoices = pc
+	}
 
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -512,6 +523,13 @@ func accumulate(agg *seal.Stats, st *seal.Stats) {
 	agg.FilterTime += st.FilterTime
 	agg.VerifyTime += st.VerifyTime
 	agg.ShardFanout += st.ShardFanout
+	agg.ShardsPruned += st.ShardsPruned
+	for family, n := range st.PlanChoices {
+		if agg.PlanChoices == nil {
+			agg.PlanChoices = make(map[string]int, len(st.PlanChoices))
+		}
+		agg.PlanChoices[family] += n
+	}
 }
 
 // logRequest emits the one-JSON-line query log entry.

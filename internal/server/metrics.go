@@ -131,6 +131,12 @@ type Metrics struct {
 	matches         atomic.Uint64
 	shardSearches   atomic.Uint64
 	queries         atomic.Uint64
+	shardsPruned    atomic.Uint64
+
+	// plan-selection totals by filter-family name (adaptive planning only),
+	// same lazy-atomic shape as requests.
+	planMu      sync.Mutex
+	planChoices map[string]*atomic.Uint64
 
 	// index facts, set once at boot.
 	indexMu    sync.Mutex
@@ -144,9 +150,10 @@ var metricEndpoints = []string{"query", "batch", "stream", "warmup"}
 // NewMetrics builds an empty registry.
 func NewMetrics() *Metrics {
 	m := &Metrics{
-		start:    time.Now(),
-		requests: make(map[string]*atomic.Uint64),
-		latency:  make(map[string]*histogram, len(metricEndpoints)),
+		start:       time.Now(),
+		requests:    make(map[string]*atomic.Uint64),
+		latency:     make(map[string]*histogram, len(metricEndpoints)),
+		planChoices: make(map[string]*atomic.Uint64),
 	}
 	for _, e := range metricEndpoints {
 		m.latency[e] = newHistogram()
@@ -189,7 +196,36 @@ func (m *Metrics) RecordQuery(st *seal.Stats, matches int) {
 	m.listsProbed.Add(uint64(st.ListsProbed))
 	m.candidates.Add(uint64(st.Candidates))
 	m.shardSearches.Add(uint64(st.ShardFanout))
+	m.shardsPruned.Add(uint64(st.ShardsPruned))
+	for family, n := range st.PlanChoices {
+		if n <= 0 {
+			continue
+		}
+		m.planMu.Lock()
+		c, ok := m.planChoices[family]
+		if !ok {
+			c = new(atomic.Uint64)
+			m.planChoices[family] = c
+		}
+		m.planMu.Unlock()
+		c.Add(uint64(n))
+	}
 }
+
+// PlanChoices snapshots the plan-selection totals by family name; empty on a
+// static index.
+func (m *Metrics) PlanChoices() map[string]uint64 {
+	m.planMu.Lock()
+	defer m.planMu.Unlock()
+	out := make(map[string]uint64, len(m.planChoices))
+	for family, c := range m.planChoices {
+		out[family] = c.Load()
+	}
+	return out
+}
+
+// ShardsPruned returns the accumulated pruned-shard total.
+func (m *Metrics) ShardsPruned() uint64 { return m.shardsPruned.Load() }
 
 // RecordRejected counts one limiter rejection.
 func (m *Metrics) RecordRejected() { m.rejected.Add(1) }
@@ -284,9 +320,22 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"seal_lists_probed_total", "Posting lists probed by the filter step.", m.listsProbed.Load()},
 		{"seal_candidates_total", "Candidates that reached exact verification.", m.candidates.Load()},
 		{"seal_shard_searches_total", "Per-shard searches actually run (realized fan-out).", m.shardSearches.Load()},
+		{"seal_shards_pruned_total", "Shard searches skipped by planner extent pruning.", m.shardsPruned.Load()},
 	}
 	for _, c := range engineCounters {
 		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
+	}
+
+	fmt.Fprintln(cw, "# HELP seal_plan_selected_total Shard searches routed to each filter family by the adaptive planner.")
+	fmt.Fprintln(cw, "# TYPE seal_plan_selected_total counter")
+	plans := m.PlanChoices()
+	families := make([]string, 0, len(plans))
+	for f := range plans {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+	for _, f := range families {
+		fmt.Fprintf(cw, "seal_plan_selected_total{filter=%q} %d\n", f, plans[f])
 	}
 
 	m.indexMu.Lock()

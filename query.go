@@ -366,7 +366,7 @@ func (ix *Index) queryRanked(ctx context.Context, req Request, cfg queryConfig) 
 func (ix *Index) finish(matches []Match, st core.SearchStats, cfg queryConfig) *Results {
 	res := &Results{Matches: matches}
 	if cfg.collectStats {
-		s := statsOut(st)
+		s := ix.statsOut(st)
 		res.Stats = &s
 		if cfg.statsInto != nil {
 			*cfg.statsInto = s
@@ -375,8 +375,8 @@ func (ix *Index) finish(matches []Match, st core.SearchStats, cfg queryConfig) *
 	return res
 }
 
-func statsOut(st core.SearchStats) Stats {
-	return Stats{
+func (ix *Index) statsOut(st core.SearchStats) Stats {
+	s := Stats{
 		Candidates:      st.Candidates,
 		Results:         st.Results,
 		ListsProbed:     st.ListsProbed,
@@ -384,7 +384,17 @@ func statsOut(st core.SearchStats) Stats {
 		FilterTime:      st.FilterTime,
 		VerifyTime:      st.VerifyTime,
 		ShardFanout:     st.Shards,
+		ShardsPruned:    st.ShardsPruned,
 	}
+	if names := ix.eng.PlanFamilyNames(); names != nil {
+		s.PlanChoices = make(map[string]int, len(names))
+		for i, name := range names {
+			if st.Plans[i] > 0 {
+				s.PlanChoices[name] += st.Plans[i]
+			}
+		}
+	}
+	return s
 }
 
 // QueryBatch answers many requests concurrently and reports each query's

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -133,7 +134,7 @@ func TestQueryBatchStatsInto(t *testing.T) {
 			t.Fatalf("slot %d missing its per-query Stats", i)
 		}
 	}
-	if shared != (seal.Stats{}) {
+	if !reflect.DeepEqual(shared, seal.Stats{}) {
 		t.Fatalf("shared StatsInto variable was written by the batch: %+v", shared)
 	}
 }
@@ -291,7 +292,7 @@ func TestQueryStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Stats == nil || *res.Stats != st {
+	if res.Stats == nil || !reflect.DeepEqual(*res.Stats, st) {
 		t.Fatalf("StatsInto: Results.Stats = %+v, variable = %+v", res.Stats, st)
 	}
 	if st.Results != len(res.Matches) {

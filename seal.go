@@ -75,8 +75,16 @@ type Stats struct {
 	// ShardFanout is the number of shard searches that actually ran: equal
 	// to IndexStats.Shards for a full scatter, lower when early termination
 	// (Limit, top-k pruning, cancellation) stopped shards before they
-	// started.
+	// started, or when the planner pruned shards (see ShardsPruned).
 	ShardFanout int
+	// ShardsPruned counts shards skipped before dispatch because their
+	// partition extent provably cannot reach the query's spatial threshold.
+	// Always zero without WithAdaptivePlanning.
+	ShardsPruned int
+	// PlanChoices counts, per filter family name, how many shard searches
+	// the adaptive planner routed to that family (ranked requests count one
+	// choice per descent round). Nil without WithAdaptivePlanning.
+	PlanChoices map[string]int
 }
 
 // IndexStats describes a built index.
@@ -96,6 +104,9 @@ type IndexStats struct {
 	// Compressed reports that posting lists use the delta/quantized
 	// encoding instead of the flat fixed-width arena.
 	Compressed bool
+	// Adaptive reports that the index plans filter families per query
+	// (WithAdaptivePlanning); Method then lists every resident family.
+	Adaptive bool
 }
 
 // ErrEmptyIndex is returned by Build when no objects are supplied.
@@ -166,6 +177,17 @@ func Build(objects []Object, opts ...Option) (*Index, error) {
 		}
 	}
 
+	if cfg.adaptive {
+		switch cfg.method {
+		case MethodSeal, MethodTokenFilter, MethodGridFilter, MethodHybridHash:
+		default:
+			return nil, fmt.Errorf("seal: WithAdaptivePlanning requires a signature-filter method, got %q", methodName(cfg.method))
+		}
+		if cfg.segmentDir != "" {
+			return nil, errors.New("seal: WithAdaptivePlanning is incompatible with WithSegmentDir (a segment directory persists exactly one filter)")
+		}
+	}
+
 	if cfg.segmentDir != "" {
 		if _, ok := segmentSpec(cfg); !ok {
 			return nil, fmt.Errorf("seal: WithSegmentDir does not support method %q (no posting lists to persist)", methodName(cfg.method))
@@ -193,11 +215,15 @@ func Build(objects []Object, opts ...Option) (*Index, error) {
 		}
 	}
 
-	eng, err := engine.Build(ds, engine.Config{
+	engCfg := engine.Config{
 		Shards:           cfg.shards,
 		BuildParallelism: cfg.buildParallelism,
 		NewFilter:        func(sds *model.Dataset) (core.Filter, error) { return buildFilter(sds, cfg) },
-	})
+	}
+	if cfg.adaptive {
+		engCfg.NewFilters = func(sds *model.Dataset) ([]core.Filter, error) { return buildFilterFamilies(sds, cfg) }
+	}
+	eng, err := engine.Build(ds, engCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -217,6 +243,7 @@ func Build(objects []Object, opts ...Option) (*Index, error) {
 			IndexBytes: eng.SizeBytes(),
 			BuildTime:  time.Since(start),
 			Compressed: compressedStats(cfg),
+			Adaptive:   eng.Adaptive(),
 		},
 	}, nil
 }
@@ -226,14 +253,79 @@ func buildFilter(ds *model.Dataset, cfg options) (core.Filter, error) {
 	if err != nil {
 		return nil, err
 	}
+	compressFilter(f, cfg)
+	return f, nil
+}
+
+// compressFilter applies the configured posting-list compression to f. Only
+// the signature filters hold posting lists; the knob is a no-op for
+// baselines.
+func compressFilter(f core.Filter, cfg options) {
 	if cfg.compression != CompressionNone {
-		// Only the signature filters hold posting lists; the knob is a
-		// no-op for baselines.
 		if c, ok := f.(interface{ CompressPostings(invidx.Compression) }); ok {
 			c.CompressPostings(invidxCompression(cfg.compression))
 		}
 	}
-	return f, nil
+}
+
+// buildFilterFamilies builds one shard's interchangeable filter families for
+// adaptive planning: the configured base method first (so filters[0] matches
+// the static build exactly), then the complementary signature families the
+// planner can route to — token-only, the grid at the configured and at a
+// coarser granularity (cheaper probes on large rects, more candidates), and
+// the hybrid hash. Families duplicating the base method are skipped; every
+// family shares the shard's dataset and verification, so any of them returns
+// bit-identical answers.
+func buildFilterFamilies(ds *model.Dataset, cfg options) ([]core.Filter, error) {
+	base, err := buildFilter(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	filters := []core.Filter{base}
+	add := func(f core.Filter, err error) error {
+		if err != nil {
+			return err
+		}
+		compressFilter(f, cfg)
+		filters = append(filters, f)
+		return nil
+	}
+	if cfg.method != MethodTokenFilter {
+		if err := add(core.NewTokenFilter(ds), nil); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.method != MethodGridFilter {
+		if err := add(core.NewGridFilter(ds, cfg.granularity)); err != nil {
+			return nil, err
+		}
+	}
+	// The grid at the configured granularity is always present (as the base
+	// or the family above), so the coarse level only adds when it differs.
+	if coarse := coarseGranularity(cfg.granularity); coarse != cfg.granularity {
+		if err := add(core.NewGridFilter(ds, coarse)); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.method != MethodHybridHash {
+		if err := add(core.NewHybridHashFilter(ds, cfg.granularity, cfg.hashBuckets)); err != nil {
+			return nil, err
+		}
+	}
+	return filters, nil
+}
+
+// coarseGranularity is the planner's second grid level: a quarter of the
+// configured granularity, floored at 16 cells per side.
+func coarseGranularity(p int) int {
+	c := p / 4
+	if c < 16 {
+		c = 16
+	}
+	if c > p {
+		c = p
+	}
+	return c
 }
 
 func newFilter(ds *model.Dataset, cfg options) (core.Filter, error) {

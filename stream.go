@@ -90,7 +90,7 @@ func (ix *Index) streamArrival(ctx context.Context, req Request, cfg queryConfig
 		if cfg.statsInto != nil {
 			// Stats settle once the producers exited; an abandoned stream
 			// reports the partial work it actually did.
-			*cfg.statsInto = statsOut(ms.Stats())
+			*cfg.statsInto = ix.statsOut(ms.Stats())
 		}
 	}()
 	skip := cfg.offset
