@@ -53,10 +53,13 @@ type record struct {
 	// Gomaxprocs and CPUs record the parallelism the run actually had, so
 	// shard-overhead effects on starved machines (GOMAXPROCS=1) are
 	// machine-readable instead of a README caveat.
-	Gomaxprocs int     `json:"gomaxprocs"`
-	CPUs       int     `json:"cpus"`
-	ElapsedMS  float64 `json:"elapsed_ms"`
-	Data       any     `json:"data,omitempty"`
+	Gomaxprocs int `json:"gomaxprocs"`
+	CPUs       int `json:"cpus"`
+	// StartedAt is the experiment's wall-clock start (UTC RFC 3339), so runs
+	// interleaved from several machines sort and join on real time.
+	StartedAt string  `json:"started_at"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Data      any     `json:"data,omitempty"`
 }
 
 func main() {
@@ -196,6 +199,7 @@ func run() error {
 				Level:      cfg.HierMaxLevel,
 				Gomaxprocs: runtime.GOMAXPROCS(0),
 				CPUs:       runtime.NumCPU(),
+				StartedAt:  start.UTC().Format(time.RFC3339Nano),
 				ElapsedMS:  float64(time.Since(start).Microseconds()) / 1e3,
 				Data:       data,
 			}

@@ -73,6 +73,8 @@ func run() error {
 		limit       = flag.Int("limit", 0, "if > 0, stop after this many matches (early termination)")
 		segments    = flag.String("segments", "", "segment directory: save on first run, mmap-boot on later runs")
 		compress    = flag.Bool("compress", false, "store compressed posting lists (delta + quantized bounds)")
+		adaptive    = flag.Bool("adaptive", false, "per-query filter planning + shard pruning (incompatible with -segments)")
+		explain     = flag.Bool("explain", false, "trace the query: matches as NDJSON on stdout, the stage/plan breakdown on stderr")
 		interactive = flag.Bool("i", false, "read queries from stdin")
 	)
 	flag.Parse()
@@ -113,6 +115,12 @@ func run() error {
 		if *compress {
 			opts = append(opts, seal.WithCompression(seal.CompressionQuantized))
 		}
+		if *adaptive {
+			if *segments != "" {
+				return errors.New("-adaptive is incompatible with -segments (segments persist one filter)")
+			}
+			opts = append(opts, seal.WithAdaptivePlanning())
+		}
 		if *segments != "" {
 			opts = append(opts, seal.WithSegmentDir(*segments))
 		}
@@ -146,7 +154,94 @@ func run() error {
 		req.K = *topK
 		req.Alpha = *alpha
 	}
+	if *explain {
+		return runExplain(ctx, ix, req, *limit)
+	}
 	return streamNDJSON(ctx, ix, req, *limit)
+}
+
+// runExplain answers req with a materialized traced query: matches go to
+// stdout as NDJSON exactly like the streamed path, the execution story —
+// per-stage spans, planner decisions with their cost-model inputs, pruned
+// shards — prints as a table on stderr.
+func runExplain(ctx context.Context, ix *seal.Index, req seal.Request, limit int) error {
+	opts := []seal.QueryOption{seal.CollectStats(), seal.CollectTrace()}
+	if limit > 0 {
+		opts = append(opts, seal.Limit(limit))
+	}
+	res, err := ix.Query(ctx, req, opts...)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	type record struct {
+		ID    int     `json:"id"`
+		SimR  float64 `json:"sim_r"`
+		SimT  float64 `json:"sim_t"`
+		Score float64 `json:"score,omitempty"`
+	}
+	for _, m := range res.Matches {
+		if err := enc.Encode(record{ID: m.ID, SimR: m.SimR, SimT: m.SimT, Score: m.Score}); err != nil {
+			return err
+		}
+	}
+	printTrace(os.Stderr, res)
+	return nil
+}
+
+// printTrace renders one traced query's execution breakdown.
+func printTrace(w *os.File, res *seal.Results) {
+	t := res.Trace
+	if t == nil {
+		fmt.Fprintln(w, "no trace collected")
+		return
+	}
+	fmt.Fprintf(w, "-- explain: %d match(es) in %v --\n", len(res.Matches), t.Elapsed)
+	fmt.Fprintf(w, "%-8s %-6s %-24s %12s %12s %10s %10s\n",
+		"STAGE", "SHARD", "FAMILY", "START", "DUR", "POSTINGS", "CAND")
+	for _, s := range t.Spans {
+		shard := strconv.Itoa(s.Shard)
+		if s.Shard < 0 {
+			shard = "-"
+		}
+		fmt.Fprintf(w, "%-8s %-6s %-24s %12v %12v %10d %10d\n",
+			s.Stage, shard, s.Family, s.Start, s.Duration, s.PostingsScanned, s.Candidates)
+	}
+	totals := t.StageTotals()
+	fmt.Fprintf(w, "stage totals:")
+	for _, stage := range []string{"admit", "plan", "filter", "verify", "merge"} {
+		if d, ok := totals[stage]; ok {
+			fmt.Fprintf(w, " %s=%v", stage, d)
+		}
+	}
+	fmt.Fprintln(w)
+	for _, p := range t.Plans {
+		how := "modeled"
+		switch {
+		case p.ColdStart:
+			how = "cold-start"
+		case p.Cached:
+			how = "cached"
+		case p.Refresh:
+			how = "refresh"
+		}
+		fmt.Fprintf(w, "plan shard %d: chose %s (%s)\n", p.Shard, p.Chosen, how)
+		for _, f := range p.Families {
+			marker := " "
+			if f.Family == p.Chosen {
+				marker = "*"
+			}
+			fmt.Fprintf(w, "  %s %-24s predicted=%.0fns adjusted=%.0fns (probes=%.0f postings=%.0f cand=%.0f)\n",
+				marker, f.Family, f.PredictedNS, f.AdjustedNS, f.Probes, f.Postings, f.Candidates)
+		}
+	}
+	for _, p := range t.Pruned {
+		fmt.Fprintf(w, "pruned shard %d: bound %.4f < tauR %.4f\n", p.Shard, p.Bound, p.TauR)
+	}
+	if st := res.Stats; st != nil {
+		fmt.Fprintf(w, "work: %d candidate(s), %d postings scanned, fanout %d, pruned %d\n",
+			st.Candidates, st.PostingsScanned, st.ShardFanout, st.ShardsPruned)
+	}
 }
 
 // streamNDJSON runs req through Index.Stream, writing one JSON record per

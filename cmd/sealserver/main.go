@@ -89,6 +89,8 @@ func run() error {
 		maxInflight  = flag.Int("max-inflight", base.MaxInFlight, "concurrent /v1/* request cap, 429 beyond it (0 = unlimited)")
 		maxBatch     = flag.Int("max-batch", base.MaxBatch, "query cap for one /v1/query/batch call")
 		grace        = flag.Duration("grace", base.ShutdownGrace, "shutdown drain deadline for in-flight requests")
+		slowQuery    = flag.Duration("slow-query", base.SlowQuery, "slow-query threshold: offenders are counted, flagged in the query log, and trace-logged rate-limited (0 disables)")
+		pprofOn      = flag.Bool("pprof", base.Pprof, "mount /debug/pprof/* profiling endpoints")
 		quietQueries = flag.Bool("no-query-log", false, "disable the per-request JSON log line on stderr")
 	)
 	flag.Parse()
@@ -107,6 +109,8 @@ func run() error {
 	cfg.MaxInFlight = *maxInflight
 	cfg.MaxBatch = *maxBatch
 	cfg.ShutdownGrace = *grace
+	cfg.SlowQuery = *slowQuery
+	cfg.Pprof = *pprofOn
 	if err := cfg.Validate(); err != nil {
 		return err
 	}

@@ -205,4 +205,37 @@
 // /v1/status reports build info, the dataset fingerprint, and boot
 // provenance. The serving layer lives in internal/server behind plain
 // http.Handlers; examples/server drives a complete session in-process.
+//
+// # Observability
+//
+// CollectTrace records a per-query execution trace and attaches it to
+// Results.Trace; TraceInto(&tr) fills a caller-owned Trace instead (and is
+// the only way to trace Stream, whose iterator has no Results). A Trace is
+// one timeline anchored at admission: each Span names its pipeline stage
+// (admit, filter, verify, merge), the shard and filter family that ran it,
+// its offset from admission, duration, and work counters (postings scanned,
+// candidates, results). StageTotals sums durations by stage for a quick
+// where-did-the-time-go split. With adaptive planning the trace also carries
+// the planner's evidence: per-shard PlanDecisions with the full per-family
+// cost table (predicted and risk-adjusted nanoseconds, cold-start and
+// cache-hit flags) and, for every shard skipped by spatial pruning, the
+// overlap bound that proved it could not reach TauR.
+//
+//	var tr seal.Trace
+//	res, _ := ix.Query(ctx, req, seal.TraceInto(&tr))
+//	for stage, d := range tr.StageTotals() { fmt.Println(stage, d) }
+//
+// Tracing is strictly opt-in and observation-only: a traced query returns
+// bit-identical matches and stats (the differential tests enforce this per
+// shard count and execution mode), and an untraced query pays nothing — the
+// recorder hooks no-op on a nil recorder and the hot path stays at 0
+// allocs/op.
+//
+// The server surfaces the same trace: POST /v1/explain answers with the
+// trace, stage totals, plan decisions and pruned shards instead of matches;
+// /v1/query?trace=1 rides the trace alongside a normal answer; queries
+// slower than -slow-query are counted, logged with their stats, and sampled
+// (at most one per second) with a full trace attached. /metrics adds
+// per-stage latency histograms (seal_stage_seconds), the slow-query counter,
+// and Go runtime vitals; -pprof exposes /debug/pprof off-by-default.
 package seal

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/trace"
 )
 
 // FilterStats counts the work done by one Collect call.
@@ -268,6 +269,11 @@ type Searcher struct {
 	// memo caches exact similarities across top-k descent rounds; nil until
 	// the first descent (see verifyMemo).
 	memo *verifyMemo
+	// tr, when non-nil, receives filter and verify spans for every search,
+	// attributed to shard trShard. The untraced path pays one nil check per
+	// phase — the zero-allocation contract holds exactly when tr is nil.
+	tr      *trace.Rec
+	trShard int
 }
 
 // NewSearcher pairs a dataset with a filter.
@@ -294,6 +300,31 @@ func NewMultiSearcher(ds *model.Dataset, filters ...Filter) *Searcher {
 	}
 	s.Use(0)
 	return s
+}
+
+// SetTrace attaches a span recorder: subsequent searches on this Searcher
+// record filter and verify spans attributed to shard. A nil r detaches.
+// Pools clear the tracer on Put, so a recorder never leaks to the next
+// borrower of a pooled searcher.
+func (s *Searcher) SetTrace(r *trace.Rec, shard int) {
+	s.tr = r
+	s.trShard = shard
+}
+
+// traceSpan emits one stage span reusing the phase timing the search already
+// measured — tracing adds no clock reads of its own.
+func (s *Searcher) traceSpan(stage trace.Stage, start time.Time, dur time.Duration, st *SearchStats) {
+	s.tr.AddSpan(trace.Span{
+		Stage:           stage,
+		Shard:           s.trShard,
+		Family:          s.active,
+		Start:           s.tr.Offset(start),
+		Dur:             dur,
+		ListsProbed:     st.ListsProbed,
+		PostingsScanned: st.PostingsScanned,
+		Candidates:      st.Candidates,
+		Results:         st.Results,
+	})
 }
 
 // Use switches the active filter family to index i (see NewMultiSearcher).
@@ -357,6 +388,9 @@ func (s *Searcher) Search(q *model.Query) ([]Match, SearchStats) {
 	s.collect(q, &st.FilterStats, nil)
 	st.Candidates = s.cs.Len()
 	st.FilterTime = time.Since(start)
+	if s.tr != nil {
+		s.traceSpan(trace.StageFilter, start, st.FilterTime, st)
+	}
 
 	start = time.Now()
 	if cap(s.matches) < s.cs.Len() {
@@ -381,6 +415,9 @@ func (s *Searcher) Search(q *model.Query) ([]Match, SearchStats) {
 	s.matches = matches
 	st.VerifyTime = time.Since(start)
 	st.Results = len(matches)
+	if s.tr != nil {
+		s.traceSpan(trace.StageVerify, start, st.VerifyTime, st)
+	}
 	return matches, *st
 }
 

@@ -34,5 +34,10 @@ func NewMultiSearcherPool(ds *model.Dataset, filters []Filter) *SearcherPool {
 // Get returns a ready searcher, creating one if the pool is empty.
 func (p *SearcherPool) Get() *Searcher { return p.pool.Get().(*Searcher) }
 
-// Put returns a searcher obtained from Get for reuse.
-func (p *SearcherPool) Put(s *Searcher) { p.pool.Put(s) }
+// Put returns a searcher obtained from Get for reuse. The tracer is cleared
+// unconditionally: a recorder attached for one traced query must never
+// receive spans from the searcher's next borrower.
+func (p *SearcherPool) Put(s *Searcher) {
+	s.SetTrace(nil, 0)
+	p.pool.Put(s)
+}

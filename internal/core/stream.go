@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/trace"
 )
 
 // StoppableFilter is an optional extension of Filter for early termination.
@@ -88,6 +89,13 @@ func (s *Searcher) SearchStream(q *model.Query, opts StreamOptions) SearchStats 
 	s.collect(q, &st.FilterStats, stop)
 	st.Candidates = s.cs.Len()
 	st.FilterTime = time.Since(start)
+	if s.tr != nil {
+		// Arrival mode interleaves verification with collection, so the
+		// phase split is not observable: the single filter span carries the
+		// whole interleaved scan, results included, and no verify span is
+		// recorded — mirroring the FilterTime/VerifyTime convention above.
+		s.traceSpan(trace.StageFilter, start, st.FilterTime, &st)
+	}
 	return st
 }
 
@@ -104,6 +112,9 @@ func (s *Searcher) streamByID(q *model.Query, opts StreamOptions) SearchStats {
 	s.collect(q, &st.FilterStats, opts.Stop)
 	st.Candidates = s.cs.Len()
 	st.FilterTime = time.Since(start)
+	if s.tr != nil {
+		s.traceSpan(trace.StageFilter, start, st.FilterTime, st)
+	}
 
 	start = time.Now()
 	ids := append(s.scr.ids[:0], s.cs.IDs()...)
@@ -123,5 +134,8 @@ func (s *Searcher) streamByID(q *model.Query, opts StreamOptions) SearchStats {
 		st.Results++
 	}
 	st.VerifyTime = time.Since(start)
+	if s.tr != nil {
+		s.traceSpan(trace.StageVerify, start, st.VerifyTime, st)
+	}
 	return *st
 }

@@ -19,11 +19,13 @@ import (
 	"io"
 	"runtime"
 	"strings"
+	"time"
 
 	"github.com/sealdb/seal/internal/core"
 	"github.com/sealdb/seal/internal/geo"
 	"github.com/sealdb/seal/internal/model"
 	"github.com/sealdb/seal/internal/planner"
+	"github.com/sealdb/seal/internal/trace"
 )
 
 // Config sizes an engine.
@@ -59,18 +61,51 @@ type shard struct {
 }
 
 // pruned reports whether the shard provably cannot answer a query over
-// region with spatial threshold tauR (adaptive engines only).
-func (s *shard) pruned(region geo.Rect, tauR float64) bool {
-	return s.plan != nil && s.plan.Prune(region, tauR)
+// region with spatial threshold tauR (adaptive engines only). When tr is
+// live, a pruned shard records the bound that pruned it: shard pruning is a
+// planning decision, and a trace that silently dropped shards would read as
+// if they never existed.
+func (s *shard) pruned(region geo.Rect, tauR float64, tr *trace.Rec, idx int) bool {
+	if s.plan == nil {
+		return false
+	}
+	if tr == nil {
+		return s.plan.Prune(region, tauR)
+	}
+	bound, p := s.plan.PruneBound(region, tauR)
+	if p {
+		tr.AddPruned(trace.PrunedShard{Shard: idx, Bound: bound, TauR: tauR})
+	}
+	return p
+}
+
+// planChoice runs the shard's planner for q. When tr is live the decision is
+// recorded (ChooseTrace) along with a plan span covering the choice itself.
+func (s *shard) planChoice(q *model.Query, tr *trace.Rec, idx int) int {
+	if tr == nil {
+		return s.plan.Choose(q)
+	}
+	start := time.Now()
+	fi := s.plan.ChooseTrace(q, idx, tr)
+	tr.AddSpan(trace.Span{
+		Stage: trace.StagePlan, Shard: idx, Family: fi,
+		Start: tr.Offset(start), Dur: time.Since(start),
+	})
+	return fi
 }
 
 // applyPlan switches a pooled searcher to the shard's planned family for q
-// and returns the family index, or -1 when the engine is static.
-func (s *shard) applyPlan(q *model.Query, sr *core.Searcher) int {
+// and returns the family index, or -1 when the engine is static. With a live
+// tr it also attaches the tracer to the searcher (static engines included),
+// so the shard's filter and verify spans land on the recorder; Put detaches.
+func (s *shard) applyPlan(q *model.Query, sr *core.Searcher, tr *trace.Rec, idx int) int {
+	if tr != nil {
+		sr.SetTrace(tr, idx)
+	}
 	if s.plan == nil {
 		return -1
 	}
-	fi := s.plan.Choose(q)
+	fi := s.planChoice(q, tr, idx)
 	sr.Use(fi)
 	return fi
 }
@@ -242,6 +277,36 @@ func (e *Engine) Adaptive() bool { return e.planner != nil }
 // PlanFamilyNames labels the adaptive filter families by plan index (the
 // indexes of SearchStats.Plans); nil on static engines.
 func (e *Engine) PlanFamilyNames() []string { return e.familyNames }
+
+// FamilyName labels filter family i for traces: the adaptive family name by
+// plan index, or the engine's single static filter for index 0. Indexes
+// without a family (engine-level spans use -1) name to "".
+func (e *Engine) FamilyName(i int) string {
+	if i < 0 {
+		return ""
+	}
+	if e.familyNames != nil {
+		if i < len(e.familyNames) {
+			return e.familyNames[i]
+		}
+		return ""
+	}
+	if i == 0 {
+		return e.shards[0].filter.Name()
+	}
+	return ""
+}
+
+// traceMerge records the engine-level merge span: gather, remap, sort.
+func traceMerge(tr *trace.Rec, start time.Time, results int) {
+	if tr == nil {
+		return
+	}
+	tr.AddSpan(trace.Span{
+		Stage: trace.StageMerge, Shard: -1, Family: -1,
+		Start: tr.Offset(start), Dur: time.Since(start), Results: results,
+	})
+}
 
 // FilterName identifies the per-shard filter (all shards use the same
 // configuration, so shard 0 speaks for everyone). Adaptive engines list

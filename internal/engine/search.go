@@ -5,9 +5,11 @@ import (
 	"errors"
 	"slices"
 	"sync"
+	"time"
 
 	"github.com/sealdb/seal/internal/core"
 	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/trace"
 )
 
 // Search answers a compiled threshold query by scatter-gather: every shard
@@ -22,6 +24,14 @@ import (
 // ctx.Err() immediately without waiting for in-flight shard searches, which
 // finish in the background and are discarded.
 func (e *Engine) Search(ctx context.Context, q *model.Query) ([]core.Match, core.SearchStats, error) {
+	return e.SearchTraced(ctx, q, nil)
+}
+
+// SearchTraced is Search with an optional trace recorder. A nil tr is
+// exactly Search — no clock reads, no recording, no allocations beyond
+// Search's own. A live tr collects per-shard plan/filter/verify spans, plan
+// decisions, pruned-shard bounds, and an engine-level merge span.
+func (e *Engine) SearchTraced(ctx context.Context, q *model.Query, tr *trace.Rec) ([]core.Match, core.SearchStats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, core.SearchStats{}, err
 	}
@@ -29,7 +39,7 @@ func (e *Engine) Search(ctx context.Context, q *model.Query) ([]core.Match, core
 		if ctx.Done() == nil {
 			// Non-cancellable context (e.g. context.Background()): run on
 			// the calling goroutine, exactly the pre-engine layout.
-			matches, st := e.searchSingle(q)
+			matches, st := e.searchSingle(q, tr)
 			return matches, st, nil
 		}
 		// Cancellable context: the search runs aside so an expiring ctx
@@ -41,7 +51,7 @@ func (e *Engine) Search(ctx context.Context, q *model.Query) ([]core.Match, core
 		}
 		done := make(chan result, 1)
 		go func() {
-			matches, st := e.searchSingle(q)
+			matches, st := e.searchSingle(q, tr)
 			done <- result{matches, st}
 		}()
 		select {
@@ -57,7 +67,7 @@ func (e *Engine) Search(ctx context.Context, q *model.Query) ([]core.Match, core
 			return nil, core.SearchStats{}, ctx.Err()
 		}
 	}
-	return e.searchScatter(ctx, q)
+	return e.searchScatter(ctx, q, tr)
 }
 
 // SearchBatched is Search for batch workers: ctx gates the start of the
@@ -65,39 +75,50 @@ func (e *Engine) Search(ctx context.Context, q *model.Query) ([]core.Match, core
 // cancellation between queries — so the single-shard fast path stays free of
 // per-query goroutines and channels.
 func (e *Engine) SearchBatched(ctx context.Context, q *model.Query) ([]core.Match, core.SearchStats, error) {
+	return e.SearchBatchedTraced(ctx, q, nil)
+}
+
+// SearchBatchedTraced is SearchBatched with an optional trace recorder; see
+// SearchTraced for the recording contract.
+func (e *Engine) SearchBatchedTraced(ctx context.Context, q *model.Query, tr *trace.Rec) ([]core.Match, core.SearchStats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, core.SearchStats{}, err
 	}
 	if len(e.shards) == 1 {
-		matches, st := e.searchSingle(q)
+		matches, st := e.searchSingle(q, tr)
 		return matches, st, nil
 	}
-	return e.searchScatter(ctx, q)
+	return e.searchScatter(ctx, q, tr)
 }
 
 // searchSingle runs q synchronously on a single-shard engine.
-func (e *Engine) searchSingle(q *model.Query) ([]core.Match, core.SearchStats) {
+func (e *Engine) searchSingle(q *model.Query, tr *trace.Rec) ([]core.Match, core.SearchStats) {
 	s := e.shards[0]
-	if s.pruned(q.Region, q.TauR) {
+	if s.pruned(q.Region, q.TauR, tr, 0) {
 		// Pruned shards never ran, so they do not count toward Shards (the
 		// realized fan-out) — only toward ShardsPruned.
 		return nil, core.SearchStats{ShardsPruned: 1}
 	}
 	sr := s.pool.Get()
-	fi := s.applyPlan(q, sr)
+	fi := s.applyPlan(q, sr, tr, 0)
 	matches, st := sr.Search(q)
+	var mergeStart time.Time
+	if tr != nil {
+		mergeStart = time.Now()
+	}
 	// The searcher owns its match buffer; copy before it returns to the pool
 	// or the next borrower would overwrite our caller's results.
 	out := append(make([]core.Match, 0, len(matches)), matches...)
 	s.pool.Put(sr)
 	st.Shards = 1
 	e.observePlan(s, q, fi, &st)
+	traceMerge(tr, mergeStart, len(out))
 	return out, st
 }
 
 // searchScatter fans q out across all shards concurrently and gathers the
 // remapped, ID-ordered union.
-func (e *Engine) searchScatter(ctx context.Context, q *model.Query) ([]core.Match, core.SearchStats, error) {
+func (e *Engine) searchScatter(ctx context.Context, q *model.Query, tr *trace.Rec) ([]core.Match, core.SearchStats, error) {
 	type shardResult struct {
 		matches []core.Match
 		st      core.SearchStats
@@ -105,7 +126,7 @@ func (e *Engine) searchScatter(ctx context.Context, q *model.Query) ([]core.Matc
 	results := make([]shardResult, len(e.shards))
 	var wg sync.WaitGroup
 	for i, s := range e.shards {
-		if s.pruned(q.Region, q.TauR) {
+		if s.pruned(q.Region, q.TauR, tr, i) {
 			// The shard's extent provably cannot reach τR: skip the dispatch
 			// entirely — no goroutine, no searcher, no scan. It never ran, so
 			// it counts toward ShardsPruned, not Shards (the realized fan-out).
@@ -119,7 +140,7 @@ func (e *Engine) searchScatter(ctx context.Context, q *model.Query) ([]core.Matc
 				return
 			}
 			sr := s.pool.Get()
-			fi := s.applyPlan(q, sr)
+			fi := s.applyPlan(q, sr, tr, i)
 			found, st := sr.Search(q)
 			// Copy out of the searcher's reused buffer (remapping to global
 			// IDs on the way) before returning it to the pool.
@@ -151,6 +172,10 @@ func (e *Engine) searchScatter(ctx context.Context, q *model.Query) ([]core.Matc
 		}
 	}
 
+	var mergeStart time.Time
+	if tr != nil {
+		mergeStart = time.Now()
+	}
 	var st core.SearchStats
 	total := 0
 	for _, r := range results {
@@ -164,6 +189,7 @@ func (e *Engine) searchScatter(ctx context.Context, q *model.Query) ([]core.Matc
 	// Shard partitions are ID-sorted and disjoint, so this is a k-way merge
 	// of sorted runs; a plain sort keeps it simple.
 	slices.SortFunc(merged, matchByID)
+	traceMerge(tr, mergeStart, len(merged))
 	return merged, st, nil
 }
 

@@ -14,9 +14,11 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/sealdb/seal/internal/core"
 	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/trace"
 )
 
 // StreamOptions sizes one streamed search.
@@ -31,6 +33,10 @@ type StreamOptions struct {
 	Parallelism int
 	// Buffer is the emission channel's capacity; values < 1 mean 64.
 	Buffer int
+	// Trace, when non-nil, collects per-shard plan/filter spans, plan
+	// decisions, and pruned-shard bounds for the streamed search. Nil costs
+	// nothing.
+	Trace *trace.Rec
 }
 
 // MatchStream is a live streamed search. Consume with Next until it reports
@@ -104,28 +110,29 @@ func (e *Engine) SearchStream(ctx context.Context, q *model.Query, opts StreamOp
 		return sctx.Err() != nil
 	}
 
+	tr := opts.Trace
 	var mu sync.Mutex // guards ms.stats while shards finish concurrently
 	go func() {
 		defer close(ms.done)
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, par)
-		for _, s := range e.shards {
+		for i, s := range e.shards {
 			wg.Add(1)
-			go func(s *shard) {
+			go func(i int, s *shard) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				if stop() {
 					return
 				}
-				if s.pruned(q.Region, q.TauR) {
+				if s.pruned(q.Region, q.TauR, tr, i) {
 					mu.Lock()
 					ms.stats.Merge(core.SearchStats{ShardsPruned: 1})
 					mu.Unlock()
 					return
 				}
 				sr := s.pool.Get()
-				fi := s.applyPlan(q, sr)
+				fi := s.applyPlan(q, sr, tr, i)
 				st := sr.SearchStream(q, core.StreamOptions{
 					Stop: stop,
 					Emit: func(m core.Match) bool {
@@ -150,7 +157,7 @@ func (e *Engine) SearchStream(ctx context.Context, q *model.Query, opts StreamOp
 				mu.Lock()
 				ms.stats.Merge(st)
 				mu.Unlock()
-			}(s)
+			}(i, s)
 		}
 		wg.Wait()
 		// Only the parent context's expiry is an error; sctx canceled via
@@ -171,8 +178,14 @@ func (e *Engine) SearchStream(ctx context.Context, q *model.Query, opts StreamOp
 // scatter that exists for its parallelism bound. parallelism bounds
 // concurrent shard searches (values < 1 mean all shards).
 func (e *Engine) SearchLimited(ctx context.Context, q *model.Query, limit, parallelism int) ([]core.Match, core.SearchStats, error) {
+	return e.SearchLimitedTraced(ctx, q, limit, parallelism, nil)
+}
+
+// SearchLimitedTraced is SearchLimited with an optional trace recorder; see
+// SearchTraced for the recording contract.
+func (e *Engine) SearchLimitedTraced(ctx context.Context, q *model.Query, limit, parallelism int, tr *trace.Rec) ([]core.Match, core.SearchStats, error) {
 	if limit <= 0 && parallelism <= 0 {
-		return e.Search(ctx, q)
+		return e.SearchTraced(ctx, q, tr)
 	}
 	par := parallelism
 	if par < 1 || par > len(e.shards) {
@@ -186,13 +199,13 @@ func (e *Engine) SearchLimited(ctx context.Context, q *model.Query, limit, paral
 	stats := make([]core.SearchStats, len(e.shards))
 	err := ForEach(ctx, len(e.shards), par, func(ctx context.Context, i int) error {
 		s := e.shards[i]
-		if s.pruned(q.Region, q.TauR) {
+		if s.pruned(q.Region, q.TauR, tr, i) {
 			stats[i] = core.SearchStats{ShardsPruned: 1}
 			return ctx.Err()
 		}
 		local := make([]core.Match, 0, localCap)
 		sr := s.pool.Get()
-		fi := s.applyPlan(q, sr)
+		fi := s.applyPlan(q, sr, tr, i)
 		stats[i] = sr.SearchStream(q, core.StreamOptions{
 			ByID: true,
 			Stop: func() bool { return ctx.Err() != nil },
@@ -210,6 +223,10 @@ func (e *Engine) SearchLimited(ctx context.Context, q *model.Query, limit, paral
 	})
 	if err != nil {
 		return nil, core.SearchStats{}, err
+	}
+	var mergeStart time.Time
+	if tr != nil {
+		mergeStart = time.Now()
 	}
 	var st core.SearchStats
 	total := 0
@@ -231,5 +248,6 @@ func (e *Engine) SearchLimited(ctx context.Context, q *model.Query, limit, paral
 	// Per-shard Results count local emissions; the query's answer is the
 	// truncated merge.
 	st.Results = len(merged)
+	traceMerge(tr, mergeStart, len(merged))
 	return merged, st, nil
 }

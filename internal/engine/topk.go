@@ -5,10 +5,12 @@ import (
 	"context"
 	"slices"
 	"sync"
+	"time"
 
 	"github.com/sealdb/seal/internal/core"
 	"github.com/sealdb/seal/internal/geo"
 	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/trace"
 )
 
 // TopK answers a top-k query by scatter-gather with global-threshold
@@ -31,6 +33,14 @@ import (
 // < 1 mean all shards at once (capping it weakens cooperative pruning's
 // concurrency, never its correctness — the tracker only ever tightens).
 func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts core.TopKOptions, parallelism int) ([]core.ScoredMatch, core.SearchStats, error) {
+	return e.TopKTraced(ctx, region, terms, opts, parallelism, nil)
+}
+
+// TopKTraced is TopK with an optional trace recorder. A nil tr is exactly
+// TopK. A live tr records one plan span per descent round (rounds re-plan as
+// thresholds loosen), the per-round filter/verify spans from each shard's
+// searcher, pruned-shard bounds against FloorR, and the heap-merge span.
+func (e *Engine) TopKTraced(ctx context.Context, region geo.Rect, terms []string, opts core.TopKOptions, parallelism int, tr *trace.Rec) ([]core.ScoredMatch, core.SearchStats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, core.SearchStats{}, err
 	}
@@ -56,7 +66,7 @@ func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts
 		var st core.SearchStats
 		opts.Stats = &st
 		s := e.shards[0]
-		if s.pruned(region, opts.FloorR) {
+		if s.pruned(region, opts.FloorR, tr, 0) {
 			return nil, core.SearchStats{ShardsPruned: 1}, nil
 		}
 		if s.plan != nil {
@@ -65,18 +75,30 @@ func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts
 			// rounds are not fed back into the calibration — their aggregate
 			// stats span several rounds and cannot be attributed per family.
 			opts.Plan = func(q *model.Query) int {
-				fi := s.plan.Choose(q)
+				fi := s.planChoice(q, tr, 0)
 				st.Plans[fi]++
 				return fi
 			}
 		}
 		sr := s.pool.Get()
 		defer s.pool.Put(sr)
+		if tr != nil {
+			// Each descent round's internal search then emits its own
+			// filter/verify spans; Put detaches the tracer.
+			sr.SetTrace(tr, 0)
+		}
 		found, err := sr.TopK(region, terms, opts)
+		// One shard has nothing to merge across; the span covers the final
+		// bookkeeping so the merge stage still appears in single-shard traces.
+		var mergeStart time.Time
+		if tr != nil {
+			mergeStart = time.Now()
+		}
 		// Descent rounds each merged their own Results; the query's answer
 		// count is the final ranking's length.
 		st.Results = len(found)
 		st.Shards = 1
+		traceMerge(tr, mergeStart, len(found))
 		return found, st, err
 	}
 
@@ -89,7 +111,7 @@ func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts
 	stats := make([]core.SearchStats, len(e.shards))
 	err := ForEach(ctx, len(e.shards), par, func(ctx context.Context, i int) error {
 		s := e.shards[i]
-		if s.pruned(region, opts.FloorR) {
+		if s.pruned(region, opts.FloorR, tr, i) {
 			stats[i] = core.SearchStats{ShardsPruned: 1}
 			return nil
 		}
@@ -100,12 +122,15 @@ func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts
 		o.Stats = &stats[i]
 		if s.plan != nil {
 			o.Plan = func(q *model.Query) int {
-				fi := s.plan.Choose(q)
+				fi := s.planChoice(q, tr, i)
 				stats[i].Plans[fi]++
 				return fi
 			}
 		}
 		sr := s.pool.Get()
+		if tr != nil {
+			sr.SetTrace(tr, i)
+		}
 		found, err := sr.TopK(region, terms, o)
 		s.pool.Put(sr)
 		if err != nil {
@@ -121,12 +146,17 @@ func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts
 	if err != nil {
 		return nil, core.SearchStats{}, err
 	}
+	var mergeStart time.Time
+	if tr != nil {
+		mergeStart = time.Now()
+	}
 	var st core.SearchStats
 	for i := range stats {
 		st.Merge(stats[i])
 	}
 	merged := mergeTopK(lists, opts.K)
 	st.Results = len(merged)
+	traceMerge(tr, mergeStart, len(merged))
 	return merged, st, nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"github.com/sealdb/seal/internal/core"
 	"github.com/sealdb/seal/internal/geo"
 	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/trace"
 )
 
 // Cost-model seeds, in the relative units of gridsig.DefaultCostModel
@@ -214,15 +215,26 @@ func (sp *ShardPlan) Extent() (geo.Rect, bool) { return sp.extent, sp.hasExtent 
 // so float rounding can never drop a true answer — the differential tests
 // pin bit-identity across pruned and unpruned execution.
 func (sp *ShardPlan) Prune(region geo.Rect, tauR float64) bool {
+	_, pruned := sp.PruneBound(region, tauR)
+	return pruned
+}
+
+// PruneBound is Prune reporting its evidence: the extent-overlap similarity
+// bound compared against tauR, and whether the shard is pruned. When no
+// bound can be computed (non-positive threshold or degenerate query rect)
+// the trivial bound 1 is reported and the shard is kept; an empty shard
+// reports bound 0 and prunes for any positive threshold. Traced queries
+// record the bound so a pruned shard is auditable.
+func (sp *ShardPlan) PruneBound(region geo.Rect, tauR float64) (float64, bool) {
 	if tauR <= 0 {
-		return false
+		return 1, false
 	}
 	if !sp.hasExtent {
-		return true // no members: nothing can reach a positive threshold
+		return 0, true // no members: nothing can reach a positive threshold
 	}
 	qa := region.Area()
 	if qa <= 0 {
-		return false
+		return 1, false
 	}
 	a := region.IntersectionArea(sp.extent)
 	var bound float64
@@ -231,7 +243,7 @@ func (sp *ShardPlan) Prune(region geo.Rect, tauR float64) bool {
 	} else {
 		bound = a / qa
 	}
-	return bound*(1+pruneEps) < tauR
+	return bound, bound*(1+pruneEps) < tauR
 }
 
 // Choose picks the cheapest filter family for q on this shard, consulting
@@ -245,12 +257,39 @@ func (sp *ShardPlan) Prune(region geo.Rect, tauR float64) bool {
 // cost is within refreshFactor of the best) so calibration keeps tracking
 // the workload. Both detours are bounded, and every family returns the same
 // answers, so they can only cost speed.
-func (sp *ShardPlan) Choose(q *model.Query) int {
+func (sp *ShardPlan) Choose(q *model.Query) int { return sp.choose(q, nil) }
+
+// ChooseTrace is Choose with an audit trail: the decision — how it was
+// reached (cache hit, cold start, refresh) and the cost model's full view of
+// every family — is recorded on tr as a trace.PlanDecision for shard.
+// Routing, cache and calibration semantics are identical to Choose; the
+// extra cost-table walk runs only when tr is live, so the untraced path
+// stays allocation-free.
+func (sp *ShardPlan) ChooseTrace(q *model.Query, shard int, tr *trace.Rec) int {
+	if tr == nil {
+		return sp.choose(q, nil)
+	}
+	d := trace.PlanDecision{Shard: shard}
+	fi := sp.choose(q, &d)
+	d.Chosen = fi
+	d.Families = sp.costTable(q)
+	tr.AddPlan(d)
+	return fi
+}
+
+// choose implements Choose; a non-nil d receives how the decision was
+// reached (the caller fills the chosen family and cost table afterwards —
+// keeping this function free of traced-only work keeps the d == nil path
+// exactly the old hot path).
+func (sp *ShardPlan) choose(q *model.Query, d *trace.PlanDecision) int {
 	if sp.p.n < 2 {
 		return 0
 	}
 	for f := 0; f < sp.p.n; f++ {
 		if sp.p.samples[f].Load() < coldStartSamples {
+			if d != nil {
+				d.ColdStart = true
+			}
 			return f
 		}
 	}
@@ -261,6 +300,9 @@ func (sp *ShardPlan) Choose(q *model.Query) int {
 		gen := sp.p.gen.Load()
 		if e := sp.cache[slot].Load(); e != 0 &&
 			e&^0xffff == key&^0xffff && byte(e>>8) == byte(gen) {
+			if d != nil {
+				d.Cached = true
+			}
 			return int(e&0xff) - 1
 		}
 	}
@@ -276,6 +318,9 @@ func (sp *ShardPlan) Choose(q *model.Query) int {
 		}
 	}
 	if refresh {
+		if d != nil {
+			d.Refresh = true
+		}
 		// Re-observe the cursor family unless it is predicted to ruin this
 		// query; either way the choice is not cached.
 		if cur := int(sp.p.refreshCur.Add(1)) % sp.p.n; costs[cur] <= bestCost*refreshFactor {
@@ -288,6 +333,33 @@ func (sp *ShardPlan) Choose(q *model.Query) int {
 		sp.cache[key&(cacheSize-1)].Store(key&^0xffff | uint64(byte(sp.p.gen.Load()))<<8 | uint64(best+1))
 	}
 	return best
+}
+
+// costTable snapshots the cost model's view of q for every family: the
+// estimator hints, the calibrated nanosecond lanes, and the predicted cost
+// raw and risk-adjusted. Traced queries attach it to the plan decision so
+// routing is auditable; it allocates and is never on the untraced path.
+func (sp *ShardPlan) costTable(q *model.Query) []trace.FamilyCost {
+	out := make([]trace.FamilyCost, sp.p.n)
+	for f := 0; f < sp.p.n; f++ {
+		h := sp.est[f].EstimateCost(q)
+		np, nc := sp.p.nsPosting(f), sp.p.nsCandidate(f)
+		pred := np*(h.Postings+4*h.Probes) + nc*h.Candidates
+		adj := pred
+		if sp.p.fullVerify[f] {
+			adj *= fullVerifyRisk
+		}
+		out[f] = trace.FamilyCost{
+			Family:     f,
+			Probes:     h.Probes,
+			Postings:   h.Postings,
+			Candidates: h.Candidates,
+			FullVerify: sp.p.fullVerify[f],
+			NsPosting:  np, NsCandidate: nc,
+			PredictedNS: pred, AdjustedNS: adj,
+		}
+	}
+	return out
 }
 
 // cost converts a family's hint into calibrated nanoseconds. Probes ride the

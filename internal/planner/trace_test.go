@@ -1,0 +1,156 @@
+package planner
+
+// ChooseTrace tests: the audit trail must mirror the decision Choose makes —
+// same routing, correct cold-start/cache flags, and a cost table whose
+// risk-adjusted minimum is the chosen family whenever the model (not the
+// cache or cold start) decided.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/geo"
+	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/trace"
+)
+
+func TestChooseTraceNilRecorder(t *testing.T) {
+	q := testQuery(t, geo.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50}, 0.1, 0.1)
+	p := New([]bool{false, false}, model.SpaceJaccard)
+	calibrate(p, 0, 1)
+	calibrate(p, 1, 1)
+	est := []core.CostEstimator{
+		stubEst{core.CostHint{Postings: 10, Candidates: 10}},
+		stubEst{core.CostHint{Postings: 100, Candidates: 100}},
+	}
+	sp := p.NewShard(est, geo.Rect{MaxX: 100, MaxY: 100}, true)
+	if got, want := sp.ChooseTrace(q, 0, nil), sp.Choose(q); got != want {
+		t.Fatalf("ChooseTrace(nil) = %d, Choose = %d; must match", got, want)
+	}
+}
+
+func TestChooseTraceRecordsDecision(t *testing.T) {
+	q := testQuery(t, geo.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50}, 0.1, 0.1)
+	p := New([]bool{false, true}, model.SpaceJaccard)
+	calibrate(p, 0, 2)
+	calibrate(p, 1, 3)
+	est := []core.CostEstimator{
+		stubEst{core.CostHint{Probes: 5, Postings: 10, Candidates: 10}},
+		stubEst{core.CostHint{Probes: 1, Postings: 100, Candidates: 100, FullVerify: true}},
+	}
+	sp := p.NewShard(est, geo.Rect{MaxX: 100, MaxY: 100}, true)
+
+	rec := trace.New()
+	got := sp.ChooseTrace(q, 7, rec)
+	_, plans, _, _ := rec.Snapshot()
+	if len(plans) != 1 {
+		t.Fatalf("%d plan decisions recorded, want 1", len(plans))
+	}
+	d := plans[0]
+	if d.Shard != 7 {
+		t.Errorf("decision shard = %d, want 7", d.Shard)
+	}
+	if d.Chosen != got || got != 0 {
+		t.Errorf("decision chosen = %d, ChooseTrace returned %d, want 0 (cheapest)", d.Chosen, got)
+	}
+	if d.ColdStart || d.Refresh {
+		t.Errorf("calibrated first choice flagged cold-start=%v refresh=%v", d.ColdStart, d.Refresh)
+	}
+	if len(d.Families) != 2 {
+		t.Fatalf("cost table has %d families, want 2", len(d.Families))
+	}
+
+	// The table must reprice exactly what choose() priced: lanes × hints,
+	// with the full-verification margin on the adjusted number only.
+	f0, f1 := d.Families[0], d.Families[1]
+	want0 := 2.0 * (10 + 4*5 + 10) // both lanes calibrated to 2ns
+	if math.Abs(f0.PredictedNS-want0) > 1e-9 || math.Abs(f0.AdjustedNS-want0) > 1e-9 {
+		t.Errorf("family 0 predicted/adjusted = %v/%v, want %v (no risk margin)",
+			f0.PredictedNS, f0.AdjustedNS, want0)
+	}
+	want1 := 3.0 * (100 + 4*1 + 100)
+	if math.Abs(f1.PredictedNS-want1) > 1e-9 {
+		t.Errorf("family 1 predicted = %v, want %v", f1.PredictedNS, want1)
+	}
+	if !f1.FullVerify {
+		t.Error("family 1 not marked full-verify in the cost table")
+	}
+	if math.Abs(f1.AdjustedNS-want1*fullVerifyRisk) > 1e-9 {
+		t.Errorf("family 1 adjusted = %v, want %v (risk ×%v)", f1.AdjustedNS, want1*fullVerifyRisk, fullVerifyRisk)
+	}
+	// The chosen family is the adjusted-cost argmin.
+	if f0.AdjustedNS >= f1.AdjustedNS {
+		t.Errorf("chosen family 0 adjusted %v not below family 1's %v", f0.AdjustedNS, f1.AdjustedNS)
+	}
+}
+
+func TestChooseTraceFlagsColdStartAndCache(t *testing.T) {
+	q := testQuery(t, geo.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50}, 0.1, 0.1)
+	p := New([]bool{false, false}, model.SpaceJaccard)
+	est := []core.CostEstimator{
+		stubEst{core.CostHint{Postings: 10, Candidates: 10}},
+		stubEst{core.CostHint{Postings: 100, Candidates: 100}},
+	}
+	sp := p.NewShard(est, geo.Rect{MaxX: 100, MaxY: 100}, true)
+
+	// Uncalibrated: the decision must carry the cold-start flag.
+	rec := trace.New()
+	sp.ChooseTrace(q, 0, rec)
+	_, plans, _, _ := rec.Snapshot()
+	if len(plans) != 1 || !plans[0].ColdStart {
+		t.Fatalf("uncalibrated decision not flagged cold-start: %+v", plans)
+	}
+
+	// Calibrated and mature: the first choice caches, the second must be
+	// flagged as a cache hit with the same family.
+	calibrate(p, 0, 1)
+	calibrate(p, 1, 1)
+	mature(p)
+	rec = trace.New()
+	first := sp.ChooseTrace(q, 0, rec)
+	second := sp.ChooseTrace(q, 0, rec)
+	_, plans, _, _ = rec.Snapshot()
+	if len(plans) != 2 {
+		t.Fatalf("%d decisions recorded, want 2", len(plans))
+	}
+	if plans[0].Cached {
+		t.Error("first mature choice flagged as a cache hit")
+	}
+	if !plans[1].Cached {
+		t.Error("repeat choice not flagged as a cache hit")
+	}
+	if first != second || plans[1].Chosen != first {
+		t.Errorf("cache hit chose %d, first choice %d; must match", second, first)
+	}
+}
+
+func TestPruneBoundEvidence(t *testing.T) {
+	extent := geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	p := New([]bool{false}, model.SpaceJaccard)
+	sp := p.NewShard([]core.CostEstimator{stubEst{}}, extent, true)
+
+	// Half-overlap: bound = A/|q| = 1/2 exactly; the reported bound must be
+	// the number Prune compared.
+	half := geo.Rect{MinX: 5, MinY: 0, MaxX: 15, MaxY: 10}
+	bound, pruned := sp.PruneBound(half, 0.51)
+	if math.Abs(bound-0.5) > 1e-12 || !pruned {
+		t.Errorf("PruneBound(half, 0.51) = %v,%v, want 0.5,true", bound, pruned)
+	}
+	if bound, pruned = sp.PruneBound(half, 0.5); pruned {
+		t.Errorf("PruneBound(half, 0.5) pruned with bound %v", bound)
+	}
+	// Degenerate inputs report the trivial bound and keep the shard.
+	if bound, pruned = sp.PruneBound(half, 0); bound != 1 || pruned {
+		t.Errorf("PruneBound(_, 0) = %v,%v, want 1,false", bound, pruned)
+	}
+	line := geo.Rect{MinX: 1, MinY: 1, MaxX: 5, MaxY: 1}
+	if bound, pruned = sp.PruneBound(line, 0.5); bound != 1 || pruned {
+		t.Errorf("PruneBound(degenerate, 0.5) = %v,%v, want 1,false", bound, pruned)
+	}
+	// An empty shard reports bound 0 and prunes.
+	empty := p.NewShard([]core.CostEstimator{stubEst{}}, geo.Rect{}, false)
+	if bound, pruned = empty.PruneBound(half, 0.01); bound != 0 || !pruned {
+		t.Errorf("empty PruneBound = %v,%v, want 0,true", bound, pruned)
+	}
+}

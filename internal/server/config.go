@@ -57,6 +57,13 @@ type Config struct {
 	// ShutdownGrace bounds the drain of in-flight requests on SIGINT or
 	// SIGTERM before the listener is torn down regardless.
 	ShutdownGrace time.Duration `json:"-"`
+	// SlowQuery is the slow-query threshold: requests at or over it are
+	// counted, flagged in the query log, and (rate-limited) logged with their
+	// full execution trace. 0 disables slow-query telemetry.
+	SlowQuery time.Duration `json:"-"`
+	// Pprof mounts Go's /debug/pprof/* profiling endpoints on the serving
+	// mux. Off by default: profiles expose internals and cost CPU to sample.
+	Pprof bool `json:"pprof"`
 }
 
 // DefaultConfig is the daemon's baseline configuration.
@@ -77,6 +84,7 @@ type fileConfig struct {
 	Config
 	RequestTimeout string `json:"request_timeout"`
 	ShutdownGrace  string `json:"shutdown_grace"`
+	SlowQuery      string `json:"slow_query"`
 }
 
 // LoadConfig reads a JSON config file over base (typically DefaultConfig):
@@ -107,6 +115,13 @@ func LoadConfig(path string, base Config) (Config, error) {
 			return base, fmt.Errorf("server: %s: shutdown_grace: %w", path, err)
 		}
 		cfg.ShutdownGrace = d
+	}
+	if fc.SlowQuery != "" {
+		d, err := time.ParseDuration(fc.SlowQuery)
+		if err != nil {
+			return base, fmt.Errorf("server: %s: slow_query: %w", path, err)
+		}
+		cfg.SlowQuery = d
 	}
 	if err := cfg.Validate(); err != nil {
 		return base, err
@@ -140,6 +155,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxInFlight < 0 || c.MaxBatch < 0 {
 		return fmt.Errorf("server: negative concurrency limits")
+	}
+	if c.SlowQuery < 0 {
+		return fmt.Errorf("server: negative slow-query threshold %v", c.SlowQuery)
 	}
 	return nil
 }

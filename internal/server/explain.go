@@ -1,0 +1,175 @@
+package server
+
+// EXPLAIN for the wire: POST /v1/explain runs a query exactly like /v1/query
+// but answers with the execution trace — per-stage spans on the query's
+// monotonic timeline, the planner's per-family cost-model inputs behind each
+// routing decision, and the shards pruned before dispatch with the bound
+// that pruned them. The same wire trace rides /v1/query responses under
+// ?trace=1 and the slow-query log's offender lines, so every surface speaks
+// one schema.
+
+import (
+	"net/http"
+	"time"
+
+	seal "github.com/sealdb/seal"
+)
+
+// wireSpan is one pipeline-stage span. Offsets and durations travel in
+// microseconds; spans from concurrent shards overlap, so their durations can
+// sum past the request's wall clock.
+type wireSpan struct {
+	Stage           string  `json:"stage"`
+	Shard           int     `json:"shard"`
+	Family          string  `json:"family,omitempty"`
+	StartUS         float64 `json:"start_us"`
+	DurationUS      float64 `json:"duration_us"`
+	ListsProbed     int     `json:"lists_probed,omitempty"`
+	PostingsScanned int     `json:"postings_scanned,omitempty"`
+	Candidates      int     `json:"candidates,omitempty"`
+	Results         int     `json:"results,omitempty"`
+}
+
+// wirePlanFamily is the cost model's prediction for one filter family at
+// decision time: estimator hints, calibrated nanosecond lanes, and the
+// predicted cost raw and risk-adjusted (the number the planner compared).
+type wirePlanFamily struct {
+	Family      string  `json:"family"`
+	Probes      float64 `json:"probes"`
+	Postings    float64 `json:"postings"`
+	Candidates  float64 `json:"candidates"`
+	FullVerify  bool    `json:"full_verify,omitempty"`
+	NsPosting   float64 `json:"ns_posting"`
+	NsCandidate float64 `json:"ns_candidate"`
+	PredictedNS float64 `json:"predicted_ns"`
+	AdjustedNS  float64 `json:"adjusted_ns"`
+}
+
+// wirePlan is one shard's filter-family decision.
+type wirePlan struct {
+	Shard     int              `json:"shard"`
+	Chosen    string           `json:"chosen"`
+	Cached    bool             `json:"cached,omitempty"`
+	ColdStart bool             `json:"cold_start,omitempty"`
+	Refresh   bool             `json:"refresh,omitempty"`
+	Families  []wirePlanFamily `json:"families,omitempty"`
+}
+
+// wirePrune is one shard skipped before dispatch: its extent's similarity
+// bound provably cannot reach the query's spatial threshold.
+type wirePrune struct {
+	Shard int     `json:"shard"`
+	Bound float64 `json:"bound"`
+	TauR  float64 `json:"tau_r"`
+}
+
+// wireTrace is the JSON form of one query's execution trace.
+type wireTrace struct {
+	ElapsedUS     float64            `json:"elapsed_us"`
+	Spans         []wireSpan         `json:"spans"`
+	StageTotalsUS map[string]float64 `json:"stage_totals_us"`
+	Plans         []wirePlan         `json:"plans,omitempty"`
+	Pruned        []wirePrune        `json:"pruned,omitempty"`
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// traceWire converts a library trace to the wire form; nil in, nil out.
+func traceWire(t *seal.Trace) *wireTrace {
+	if t == nil {
+		return nil
+	}
+	wt := &wireTrace{
+		ElapsedUS:     us(t.Elapsed),
+		Spans:         make([]wireSpan, len(t.Spans)),
+		StageTotalsUS: make(map[string]float64, 5),
+	}
+	for i, s := range t.Spans {
+		wt.Spans[i] = wireSpan{
+			Stage:           s.Stage,
+			Shard:           s.Shard,
+			Family:          s.Family,
+			StartUS:         us(s.Start),
+			DurationUS:      us(s.Duration),
+			ListsProbed:     s.ListsProbed,
+			PostingsScanned: s.PostingsScanned,
+			Candidates:      s.Candidates,
+			Results:         s.Results,
+		}
+	}
+	for stage, d := range t.StageTotals() {
+		wt.StageTotalsUS[stage] = us(d)
+	}
+	if len(t.Plans) > 0 {
+		wt.Plans = make([]wirePlan, len(t.Plans))
+		for i, p := range t.Plans {
+			wp := wirePlan{
+				Shard: p.Shard, Chosen: p.Chosen,
+				Cached: p.Cached, ColdStart: p.ColdStart, Refresh: p.Refresh,
+			}
+			if len(p.Families) > 0 {
+				wp.Families = make([]wirePlanFamily, len(p.Families))
+				for j, f := range p.Families {
+					wp.Families[j] = wirePlanFamily{
+						Family: f.Family,
+						Probes: f.Probes, Postings: f.Postings, Candidates: f.Candidates,
+						FullVerify: f.FullVerify,
+						NsPosting:  f.NsPosting, NsCandidate: f.NsCandidate,
+						PredictedNS: f.PredictedNS, AdjustedNS: f.AdjustedNS,
+					}
+				}
+			}
+			wt.Plans[i] = wp
+		}
+	}
+	if len(t.Pruned) > 0 {
+		wt.Pruned = make([]wirePrune, len(t.Pruned))
+		for i, p := range t.Pruned {
+			wt.Pruned[i] = wirePrune{Shard: p.Shard, Bound: p.Bound, TauR: p.TauR}
+		}
+	}
+	return wt
+}
+
+// wireExplain is POST /v1/explain's body: the execution story of one query.
+// Matches are deliberately absent — /v1/query answers the question, explain
+// answers how the engine got there.
+type wireExplain struct {
+	Count  int        `json:"count"`
+	Stats  *wireStats `json:"stats"`
+	Trace  *wireTrace `json:"trace"`
+	TookMS float64    `json:"took_ms"`
+}
+
+// handleExplain answers POST /v1/explain. The body is exactly /v1/query's;
+// the query executes for real (stats and planner calibration record it like
+// any other) and the response carries its full trace.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var wr wireRequest
+	if err := decodeBody(w, r, &wr); err != nil {
+		s.writeError(w, r, "explain", http.StatusBadRequest, err, start)
+		return
+	}
+	req, opts, err := wr.request()
+	if err != nil {
+		s.writeError(w, r, "explain", http.StatusBadRequest, err, start)
+		return
+	}
+	opts = append(opts, seal.CollectStats(), seal.CollectTrace())
+	res, err := s.ix.Query(r.Context(), req, opts...)
+	if err != nil {
+		s.writeError(w, r, "explain", queryErrorCode(err), err, start)
+		return
+	}
+	s.metrics.RecordQuery(res.Stats, len(res.Matches))
+	s.metrics.RecordStages(res.Trace)
+	out := wireExplain{
+		Count:  len(res.Matches),
+		Stats:  statsWire(res.Stats),
+		Trace:  traceWire(res.Trace),
+		TookMS: msSince(start),
+	}
+	writeJSON(w, http.StatusOK, out)
+	s.logRequest(r, "explain", http.StatusOK, start, 1, len(res.Matches), res.Stats, res.Trace, nil)
+}

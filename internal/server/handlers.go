@@ -128,10 +128,14 @@ type wireResults struct {
 	Matches []wireMatch `json:"matches"`
 	Count   int         `json:"count"`
 	Stats   *wireStats  `json:"stats,omitempty"`
+	Trace   *wireTrace  `json:"trace,omitempty"`
 	TookMS  float64     `json:"took_ms"`
 }
 
-// handleQuery answers POST /v1/query.
+// handleQuery answers POST /v1/query. Every query records a trace — the
+// per-stage latency histograms and the slow-query log need stage attribution
+// after the fact, and a slow query cannot be re-traced retroactively — but
+// the trace only travels to the client under the ?trace=1 debug flag.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var wr wireRequest
@@ -144,21 +148,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, "query", http.StatusBadRequest, err, start)
 		return
 	}
-	opts = append(opts, seal.CollectStats())
+	opts = append(opts, seal.CollectStats(), seal.CollectTrace())
 	res, err := s.ix.Query(r.Context(), req, opts...)
 	if err != nil {
 		s.writeError(w, r, "query", queryErrorCode(err), err, start)
 		return
 	}
 	s.metrics.RecordQuery(res.Stats, len(res.Matches))
+	s.metrics.RecordStages(res.Trace)
 	out := wireResults{
 		Matches: matchesWire(res.Matches),
 		Count:   len(res.Matches),
 		Stats:   statsWire(res.Stats),
 		TookMS:  msSince(start),
 	}
+	if r.URL.Query().Get("trace") == "1" {
+		out.Trace = traceWire(res.Trace)
+	}
 	writeJSON(w, http.StatusOK, out)
-	s.logRequest(r, "query", http.StatusOK, start, 1, len(res.Matches), res.Stats, nil)
+	s.logRequest(r, "query", http.StatusOK, start, 1, len(res.Matches), res.Stats, res.Trace, nil)
 }
 
 // wireBatch is the POST /v1/query/batch body.
@@ -252,7 +260,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"results": out, "took_ms": msSince(start)})
-	s.logRequest(r, "batch", http.StatusOK, start, len(wb.Queries), matches, agg, nil)
+	s.logRequest(r, "batch", http.StatusOK, start, len(wb.Queries), matches, agg, nil, nil)
 }
 
 // handleStream answers GET /v1/stream with NDJSON: one record per match the
@@ -273,7 +281,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var st seal.Stats
-	opts = append(opts, seal.StatsInto(&st))
+	var tr seal.Trace
+	opts = append(opts, seal.StatsInto(&st), seal.TraceInto(&tr))
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
@@ -302,6 +311,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		n++
 	}
 	s.metrics.RecordQuery(&st, n)
+	s.metrics.RecordStages(&tr)
 	if streamErr != nil {
 		if n == 0 {
 			s.writeError(w, r, "stream", queryErrorCode(streamErr), streamErr, start)
@@ -311,7 +321,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		// travels as a terminal NDJSON record.
 		_ = enc.Encode(map[string]string{"error": streamErr.Error()})
 	}
-	s.logRequest(r, "stream", statusCode(w), start, 1, n, &st, streamErr)
+	s.logRequest(r, "stream", statusCode(w), start, 1, n, &st, &tr, streamErr)
 }
 
 // streamParams parses /v1/stream's query string into the wire form.
@@ -396,6 +406,7 @@ type statusResponse struct {
 	GoVersion   string  `json:"go_version"`
 	Module      string  `json:"module,omitempty"`
 	Version     string  `json:"version,omitempty"`
+	StartedAt   string  `json:"started_at"`
 	UptimeS     float64 `json:"uptime_s"`
 	Ready       bool    `json:"ready"`
 	Fingerprint string  `json:"dataset_fingerprint"`
@@ -421,6 +432,9 @@ type statusResponse struct {
 		PostingsScanned uint64  `json:"postings_scanned_total"`
 		P50MS           float64 `json:"query_p50_ms"`
 		P99MS           float64 `json:"query_p99_ms"`
+		// SlowQueries counts requests at or over the slow-query threshold;
+		// always zero when the threshold is disabled.
+		SlowQueries uint64 `json:"slow_queries_total"`
 		// Adaptive planning totals; omitted on a static index.
 		ShardsPruned uint64            `json:"shards_pruned_total,omitempty"`
 		PlanChoices  map[string]uint64 `json:"plan_choices_total,omitempty"`
@@ -436,6 +450,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		resp.Module = bi.Main.Path
 		resp.Version = bi.Main.Version
 	}
+	resp.StartedAt = s.metrics.StartTime().UTC().Format(time.RFC3339Nano)
 	resp.UptimeS = s.metrics.Uptime().Seconds()
 	resp.Ready = s.ready.Load()
 	resp.Fingerprint = s.ix.Fingerprint()
@@ -459,6 +474,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	resp.Serving.PostingsScanned = s.metrics.PostingsScanned()
 	resp.Serving.P50MS = s.metrics.LatencyQuantile("query", 0.50) * 1e3
 	resp.Serving.P99MS = s.metrics.LatencyQuantile("query", 0.99) * 1e3
+	resp.Serving.SlowQueries = s.metrics.SlowQueries()
 	resp.Serving.ShardsPruned = s.metrics.ShardsPruned()
 	if pc := s.metrics.PlanChoices(); len(pc) > 0 {
 		resp.Serving.PlanChoices = pc
@@ -493,7 +509,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // the recorder, and logs the failed request.
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, endpoint string, code int, err error, start time.Time) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
-	s.logRequest(r, endpoint, code, start, 0, 0, nil, err)
+	s.logRequest(r, endpoint, code, start, 0, 0, nil, nil, err)
 }
 
 // queryErrorCode maps execution errors to HTTP: deadline → 504, client
@@ -532,13 +548,17 @@ func accumulate(agg *seal.Stats, st *seal.Stats) {
 	}
 }
 
-// logRequest emits the one-JSON-line query log entry.
-func (s *Server) logRequest(r *http.Request, endpoint string, status int, start time.Time, queries, matches int, st *seal.Stats, err error) {
+// logRequest emits the one-JSON-line query log entry. Requests at or over
+// the slow-query threshold are flagged, counted, and — rate-limited to one
+// offender per slowLogGap — carry their full execution trace inline, so the
+// log answers "why was that one slow" without a reproduction run.
+func (s *Server) logRequest(r *http.Request, endpoint string, status int, start time.Time, queries, matches int, st *seal.Stats, tr *seal.Trace, err error) {
+	elapsed := time.Since(start)
 	e := LogEntry{
 		Endpoint:  endpoint,
 		Method:    r.Method,
 		Status:    status,
-		LatencyMS: msSince(start),
+		LatencyMS: float64(elapsed.Microseconds()) / 1e3,
 		Queries:   queries,
 		Matches:   matches,
 		Remote:    r.RemoteAddr,
@@ -550,6 +570,12 @@ func (s *Server) logRequest(r *http.Request, endpoint string, status int, start 
 	}
 	if err != nil {
 		e.Error = err.Error()
+	}
+	if slow, withTrace := s.noteSlow(elapsed); slow {
+		e.Slow = true
+		if withTrace {
+			e.Trace = traceWire(tr)
+		}
 	}
 	s.qlog.Log(e)
 }

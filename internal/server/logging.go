@@ -24,6 +24,11 @@ type LogEntry struct {
 	ShardFanout     int    `json:"shard_fanout,omitempty"`
 	Error           string `json:"error,omitempty"`
 	Remote          string `json:"remote,omitempty"`
+	// Slow flags requests at or over the configured slow-query threshold.
+	// Trace carries the offender's full execution trace, rate-limited to one
+	// trace-bearing line per second so a latency storm cannot flood the log.
+	Slow  bool       `json:"slow,omitempty"`
+	Trace *wireTrace `json:"trace,omitempty"`
 }
 
 // QueryLog serializes JSON-line request logging. A nil *QueryLog discards

@@ -9,6 +9,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -132,6 +133,11 @@ type Metrics struct {
 	shardSearches   atomic.Uint64
 	queries         atomic.Uint64
 	shardsPruned    atomic.Uint64
+	slowQueries     atomic.Uint64
+
+	// per-stage latency histograms, fed from query traces; stage names come
+	// from the trace spine (admit|plan|filter|verify|merge).
+	stages map[string]*histogram
 
 	// plan-selection totals by filter-family name (adaptive planning only),
 	// same lazy-atomic shape as requests.
@@ -145,7 +151,10 @@ type Metrics struct {
 
 // metricEndpoints are the latency-histogram labels. Warmup traffic records
 // under its own label so boot-time page faulting never skews serving p99s.
-var metricEndpoints = []string{"query", "batch", "stream", "warmup"}
+var metricEndpoints = []string{"query", "batch", "stream", "explain", "warmup"}
+
+// metricStages are the per-stage latency labels, in pipeline order.
+var metricStages = []string{"admit", "plan", "filter", "verify", "merge"}
 
 // NewMetrics builds an empty registry.
 func NewMetrics() *Metrics {
@@ -153,10 +162,14 @@ func NewMetrics() *Metrics {
 		start:       time.Now(),
 		requests:    make(map[string]*atomic.Uint64),
 		latency:     make(map[string]*histogram, len(metricEndpoints)),
+		stages:      make(map[string]*histogram, len(metricStages)),
 		planChoices: make(map[string]*atomic.Uint64),
 	}
 	for _, e := range metricEndpoints {
 		m.latency[e] = newHistogram()
+	}
+	for _, st := range metricStages {
+		m.stages[st] = newHistogram()
 	}
 	return m
 }
@@ -211,6 +224,30 @@ func (m *Metrics) RecordQuery(st *seal.Stats, matches int) {
 		c.Add(uint64(n))
 	}
 }
+
+// RecordStages folds one traced query's per-stage durations into the stage
+// histograms. Concurrent shard spans sum per stage, so one query contributes
+// one observation per stage it exercised. Nil traces no-op (tracing failed
+// or was skipped); the query-level metrics recorded it regardless.
+func (m *Metrics) RecordStages(t *seal.Trace) {
+	if t == nil {
+		return
+	}
+	for stage, d := range t.StageTotals() {
+		if h, ok := m.stages[stage]; ok {
+			h.Observe(d)
+		}
+	}
+}
+
+// RecordSlowQuery counts one request at or over the slow-query threshold.
+func (m *Metrics) RecordSlowQuery() { m.slowQueries.Add(1) }
+
+// SlowQueries returns the cumulative slow-query count.
+func (m *Metrics) SlowQueries() uint64 { return m.slowQueries.Load() }
+
+// StartTime reports when the registry (≈ the process) started.
+func (m *Metrics) StartTime() time.Time { return m.start }
 
 // PlanChoices snapshots the plan-selection totals by family name; empty on a
 // static index.
@@ -310,6 +347,16 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		m.latency[e].writeTo(cw, "seal_request_duration_seconds", fmt.Sprintf("endpoint=%q,", e))
 	}
 
+	fmt.Fprintln(cw, "# HELP seal_stage_seconds Per-query pipeline-stage time from execution traces; concurrent shard spans sum per stage.")
+	fmt.Fprintln(cw, "# TYPE seal_stage_seconds histogram")
+	for _, st := range metricStages {
+		m.stages[st].writeTo(cw, "seal_stage_seconds", fmt.Sprintf("stage=%q,", st))
+	}
+
+	fmt.Fprintln(cw, "# HELP seal_slow_queries_total Requests at or over the slow-query threshold.")
+	fmt.Fprintln(cw, "# TYPE seal_slow_queries_total counter")
+	fmt.Fprintf(cw, "seal_slow_queries_total %d\n", m.slowQueries.Load())
+
 	engineCounters := []struct {
 		name, help string
 		v          uint64
@@ -355,6 +402,26 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	for _, g := range indexGauges {
 		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v)
 	}
+
+	// Go runtime vitals: scrape-time reads, no background sampler. ReadMemStats
+	// stops the world, but for well under a scrape interval's worth of time.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintln(cw, "# HELP seal_goroutines Live goroutines.")
+	fmt.Fprintln(cw, "# TYPE seal_goroutines gauge")
+	fmt.Fprintf(cw, "seal_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintln(cw, "# HELP seal_heap_alloc_bytes Bytes of live heap objects.")
+	fmt.Fprintln(cw, "# TYPE seal_heap_alloc_bytes gauge")
+	fmt.Fprintf(cw, "seal_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintln(cw, "# HELP seal_heap_sys_bytes Bytes of heap obtained from the OS.")
+	fmt.Fprintln(cw, "# TYPE seal_heap_sys_bytes gauge")
+	fmt.Fprintf(cw, "seal_heap_sys_bytes %d\n", ms.HeapSys)
+	fmt.Fprintln(cw, "# HELP seal_gcs_total Completed garbage-collection cycles.")
+	fmt.Fprintln(cw, "# TYPE seal_gcs_total counter")
+	fmt.Fprintf(cw, "seal_gcs_total %d\n", ms.NumGC)
+	fmt.Fprintln(cw, "# HELP seal_gc_pause_seconds_total Cumulative stop-the-world GC pause time.")
+	fmt.Fprintln(cw, "# TYPE seal_gc_pause_seconds_total counter")
+	fmt.Fprintf(cw, "seal_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
 
 	fmt.Fprintln(cw, "# HELP seal_uptime_seconds Seconds since the daemon started.")
 	fmt.Fprintln(cw, "# TYPE seal_uptime_seconds gauge")

@@ -10,6 +10,7 @@ package server
 import (
 	"context"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
 
@@ -26,8 +27,17 @@ type Server struct {
 	ready atomic.Bool
 	sem   chan struct{} // nil when MaxInFlight == 0 (unlimited)
 
+	// slowLogNS is the monotonic-clock nanosecond stamp of the last slow
+	// query whose trace was written to the log; noteSlow CASes it to rate-
+	// limit offender lines to one per slowLogGap.
+	slowLogNS atomic.Int64
+
 	boot BootInfo
 }
+
+// slowLogGap rate-limits trace-carrying slow-query log lines: every offender
+// is counted and flagged, at most one per gap carries its full trace.
+const slowLogGap = time.Second
 
 // New wires a server around an already-booted index. logw receives one JSON
 // line per request (nil disables query logging). The server starts not
@@ -75,7 +85,36 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/query", s.serving("query", s.handleQuery))
 	mux.Handle("POST /v1/query/batch", s.serving("batch", s.handleBatch))
 	mux.Handle("GET /v1/stream", s.serving("stream", s.handleStream))
+	mux.Handle("POST /v1/explain", s.serving("explain", s.handleExplain))
+	if s.cfg.Pprof {
+		// Opt-in: the profiling endpoints expose internals and cost CPU when
+		// sampled, so they never mount on a default configuration. Explicit
+		// registrations rather than the net/http/pprof DefaultServeMux import
+		// side effect, which this mux would ignore anyway.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// noteSlow classifies one finished request against the slow-query threshold.
+// slow reports whether the request is an offender (disabled thresholds never
+// flag); withTrace grants this offender the rate-limited right to carry its
+// full trace in the log line.
+func (s *Server) noteSlow(elapsed time.Duration) (slow, withTrace bool) {
+	if s.cfg.SlowQuery <= 0 || elapsed < s.cfg.SlowQuery {
+		return false, false
+	}
+	s.metrics.RecordSlowQuery()
+	now := time.Now().UnixNano()
+	last := s.slowLogNS.Load()
+	if now-last >= int64(slowLogGap) && s.slowLogNS.CompareAndSwap(last, now) {
+		return true, true
+	}
+	return true, false
 }
 
 // serving wraps a query-path handler with the shared runtime behavior:

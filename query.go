@@ -12,10 +12,12 @@ import (
 	"context"
 	"fmt"
 	"slices"
+	"time"
 
 	"github.com/sealdb/seal/internal/core"
 	"github.com/sealdb/seal/internal/engine"
 	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/trace"
 )
 
 // Request unifies the library's two query models behind one type.
@@ -87,6 +89,9 @@ type Results struct {
 	// StatsInto) was requested. On an early-terminated query the counters
 	// report the reduced work actually done.
 	Stats *Stats
+	// Trace is the query's execution trace, non-nil when CollectTrace (or
+	// TraceInto) was requested.
+	Trace *Trace
 }
 
 // BatchResult pairs one batch query's Results with its error; exactly one of
@@ -113,6 +118,8 @@ type queryConfig struct {
 	order        resultOrder
 	collectStats bool
 	statsInto    *Stats
+	collectTrace bool
+	traceInto    *Trace
 	shardPar     int
 	batchPar     int
 	// batched marks executions whose enclosing loop already observes
@@ -207,6 +214,9 @@ func resolveOptions(opts []QueryOption) (queryConfig, error) {
 	if c.statsInto != nil {
 		c.collectStats = true
 	}
+	if c.traceInto != nil {
+		c.collectTrace = true
+	}
 	return c, nil
 }
 
@@ -226,13 +236,31 @@ func (ix *Index) Query(ctx context.Context, req Request, opts ...QueryOption) (*
 // query is the shared execution path behind Query, QueryBatch, Stream's
 // materialized orders, and the legacy wrappers.
 func (ix *Index) query(ctx context.Context, req Request, cfg queryConfig) (*Results, error) {
+	// The recorder's birth is the trace's time zero: everything from here on
+	// — validation, compilation, engine work — lands on its timeline.
+	var rec *trace.Rec
+	if cfg.collectTrace {
+		rec = trace.New()
+	}
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
 	if req.Ranked() {
-		return ix.queryRanked(ctx, req, cfg)
+		return ix.queryRanked(ctx, req, cfg, rec)
 	}
-	return ix.queryThreshold(ctx, req, cfg)
+	return ix.queryThreshold(ctx, req, cfg, rec)
+}
+
+// admitSpan closes the admission stage on rec: validation plus query
+// compilation, from the recorder's birth to now. Nil rec no-ops.
+func admitSpan(rec *trace.Rec) {
+	if rec == nil {
+		return
+	}
+	rec.AddSpan(trace.Span{
+		Stage: trace.StageAdmit, Shard: -1, Family: -1,
+		Start: 0, Dur: rec.Offset(time.Now()),
+	})
 }
 
 // engineLimit is the number of matches the engine must produce to satisfy
@@ -258,7 +286,7 @@ func (c queryConfig) page(matches []Match) []Match {
 	return matches
 }
 
-func (ix *Index) queryThreshold(ctx context.Context, req Request, cfg queryConfig) (*Results, error) {
+func (ix *Index) queryThreshold(ctx context.Context, req Request, cfg queryConfig, rec *trace.Rec) (*Results, error) {
 	order := cfg.order
 	if order == orderDefault {
 		order = orderID
@@ -270,20 +298,21 @@ func (ix *Index) queryThreshold(ctx context.Context, req Request, cfg queryConfi
 	if err != nil {
 		return nil, err
 	}
+	admitSpan(rec)
 
 	var found []core.Match
 	var st core.SearchStats
 	switch {
 	case order == orderArrival:
-		found, st, err = ix.drainStream(ctx, mq, cfg)
+		found, st, err = ix.drainStream(ctx, mq, cfg, rec)
 	case cfg.engineLimit() > 0 || cfg.shardPar > 0:
 		// SearchLimited is the ID-ordered scatter with a verification cap
 		// and a shard-parallelism bound; limit 0 means uncapped.
-		found, st, err = ix.eng.SearchLimited(ctx, mq, cfg.engineLimit(), cfg.shardPar)
+		found, st, err = ix.eng.SearchLimitedTraced(ctx, mq, cfg.engineLimit(), cfg.shardPar, rec)
 	case cfg.batched:
-		found, st, err = ix.eng.SearchBatched(ctx, mq)
+		found, st, err = ix.eng.SearchBatchedTraced(ctx, mq, rec)
 	default:
-		found, st, err = ix.eng.Search(ctx, mq)
+		found, st, err = ix.eng.SearchTraced(ctx, mq, rec)
 	}
 	if err != nil {
 		return nil, err
@@ -293,14 +322,15 @@ func (ix *Index) queryThreshold(ctx context.Context, req Request, cfg queryConfi
 	for i, m := range found {
 		matches[i] = Match{ID: int(m.ID), SimR: m.SimR, SimT: m.SimT}
 	}
-	return ix.finish(cfg.page(matches), st, cfg), nil
+	return ix.finish(cfg.page(matches), st, cfg, rec), nil
 }
 
 // drainStream materializes an arrival-order engine stream.
-func (ix *Index) drainStream(ctx context.Context, mq *model.Query, cfg queryConfig) ([]core.Match, core.SearchStats, error) {
+func (ix *Index) drainStream(ctx context.Context, mq *model.Query, cfg queryConfig, rec *trace.Rec) ([]core.Match, core.SearchStats, error) {
 	ms := ix.eng.SearchStream(ctx, mq, engine.StreamOptions{
 		Limit:       cfg.engineLimit(),
 		Parallelism: cfg.shardPar,
+		Trace:       rec,
 	})
 	defer ms.Close()
 	var found []core.Match
@@ -317,7 +347,7 @@ func (ix *Index) drainStream(ctx context.Context, mq *model.Query, cfg queryConf
 	return found, ms.Stats(), nil
 }
 
-func (ix *Index) queryRanked(ctx context.Context, req Request, cfg queryConfig) (*Results, error) {
+func (ix *Index) queryRanked(ctx context.Context, req Request, cfg queryConfig, rec *trace.Rec) (*Results, error) {
 	order := cfg.order
 	if order == orderDefault || order == orderArrival {
 		// Ranking produces the score order; "arrival" has no distinct
@@ -331,12 +361,15 @@ func (ix *Index) queryRanked(ctx context.Context, req Request, cfg queryConfig) 
 		// earlier.
 		effK = n
 	}
-	found, st, err := ix.eng.TopK(ctx, rectIn(req.Region), req.Tokens, core.TopKOptions{
+	// Ranked admission ends here; the descent compiles its own per-round
+	// queries inside the engine.
+	admitSpan(rec)
+	found, st, err := ix.eng.TopKTraced(ctx, rectIn(req.Region), req.Tokens, core.TopKOptions{
 		K:      effK,
 		Alpha:  req.Alpha,
 		FloorR: req.FloorR,
 		FloorT: req.FloorT,
-	}, cfg.shardPar)
+	}, cfg.shardPar, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -359,17 +392,23 @@ func (ix *Index) queryRanked(ctx context.Context, req Request, cfg queryConfig) 
 			}
 		})
 	}
-	return ix.finish(matches, st, cfg), nil
+	return ix.finish(matches, st, cfg, rec), nil
 }
 
-// finish assembles Results and serves the stats options.
-func (ix *Index) finish(matches []Match, st core.SearchStats, cfg queryConfig) *Results {
+// finish assembles Results and serves the stats and trace options.
+func (ix *Index) finish(matches []Match, st core.SearchStats, cfg queryConfig, rec *trace.Rec) *Results {
 	res := &Results{Matches: matches}
 	if cfg.collectStats {
 		s := ix.statsOut(st)
 		res.Stats = &s
 		if cfg.statsInto != nil {
 			*cfg.statsInto = s
+		}
+	}
+	if rec != nil {
+		res.Trace = ix.traceOut(rec)
+		if cfg.traceInto != nil {
+			*cfg.traceInto = *res.Trace
 		}
 	}
 	return res
@@ -417,10 +456,11 @@ func (ix *Index) QueryBatch(ctx context.Context, reqs []Request, opts ...QueryOp
 		par = defaultParallelism(len(reqs))
 	}
 	cfg.batched = true
-	// Concurrent queries must not write one shared Stats variable; keep the
-	// implied CollectStats (per-query breakdowns in Results.Stats) but drop
-	// the pointer.
+	// Concurrent queries must not write one shared Stats (or Trace) variable;
+	// keep the implied CollectStats/CollectTrace (per-query breakdowns in
+	// each Results) but drop the pointers.
 	cfg.statsInto = nil
+	cfg.traceInto = nil
 	ferr := engine.ForEach(ctx, len(reqs), par, func(ctx context.Context, i int) error {
 		res, err := ix.query(ctx, reqs[i], cfg)
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 	"iter"
 
 	"github.com/sealdb/seal/internal/engine"
+	"github.com/sealdb/seal/internal/trace"
 )
 
 // Stream answers req as an incremental iterator instead of a materialized
@@ -76,14 +77,20 @@ func (ix *Index) streamMaterialized(ctx context.Context, req Request, cfg queryC
 // through a bounded channel as shards produce them, and a consumer break
 // interrupts the producers.
 func (ix *Index) streamArrival(ctx context.Context, req Request, cfg queryConfig, yield func(Match, error) bool) {
+	var rec *trace.Rec
+	if cfg.collectTrace {
+		rec = trace.New()
+	}
 	mq, err := ix.ds.NewQuery(rectIn(req.Region), req.Tokens, req.TauR, req.TauT)
 	if err != nil {
 		yield(Match{}, err)
 		return
 	}
+	admitSpan(rec)
 	ms := ix.eng.SearchStream(ctx, mq, engine.StreamOptions{
 		Limit:       cfg.engineLimit(),
 		Parallelism: cfg.shardPar,
+		Trace:       rec,
 	})
 	defer func() {
 		ms.Close()
@@ -91,6 +98,12 @@ func (ix *Index) streamArrival(ctx context.Context, req Request, cfg queryConfig
 			// Stats settle once the producers exited; an abandoned stream
 			// reports the partial work it actually did.
 			*cfg.statsInto = ix.statsOut(ms.Stats())
+		}
+		if cfg.traceInto != nil && rec != nil {
+			// Close waited for the producers, so the recorder is quiescent:
+			// the snapshot is the stream's complete (or abandoned-partial)
+			// trace.
+			*cfg.traceInto = *ix.traceOut(rec)
 		}
 	}()
 	skip := cfg.offset

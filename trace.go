@@ -1,0 +1,195 @@
+package seal
+
+// The public face of query tracing. CollectTrace (or TraceInto) asks a query
+// to record an execution trace: per-stage spans on a shared monotonic
+// timeline, the adaptive planner's per-family cost-model inputs behind every
+// routing decision, and the shards skipped by extent pruning with the bound
+// that skipped them. Traces answer "where did this query's time go, and why
+// did the engine run it this way" — the library-level substrate under the
+// server's /v1/explain endpoint, slow-query log, and per-stage latency
+// metrics.
+
+import (
+	"time"
+
+	"github.com/sealdb/seal/internal/trace"
+)
+
+// TraceSpan is one timed pipeline stage of a traced query. Start and
+// Duration are offsets on the query's monotonic timeline (time zero is
+// request admission), so spans recorded by concurrent shard goroutines may
+// overlap and their durations can sum past the query's elapsed wall clock.
+type TraceSpan struct {
+	// Stage is one of "admit", "plan", "filter", "verify", "merge".
+	Stage string `json:"stage"`
+	// Shard is the shard the stage ran on; -1 for query- or engine-level
+	// spans (admit, merge).
+	Shard int `json:"shard"`
+	// Family names the filter family the stage ran with; empty when no
+	// family applies.
+	Family   string        `json:"family,omitempty"`
+	Start    time.Duration `json:"start_ns"`
+	Duration time.Duration `json:"duration_ns"`
+	// Work counters attributed to the span, where the stage has them: filter
+	// spans carry probe/scan/candidate counts, verify spans carry candidates
+	// in and results out.
+	ListsProbed     int `json:"lists_probed,omitempty"`
+	PostingsScanned int `json:"postings_scanned,omitempty"`
+	Candidates      int `json:"candidates,omitempty"`
+	Results         int `json:"results,omitempty"`
+}
+
+// TraceFamilyCost is the adaptive cost model's view of one filter family for
+// one query: the estimator's predicted work, the calibrated nanosecond
+// lanes, and the predicted cost raw and risk-adjusted (the number the
+// planner actually compared). Recorded per decision so a routing choice is
+// auditable after the fact.
+type TraceFamilyCost struct {
+	Family string `json:"family"`
+	// Estimator hints: predicted posting-list probes, postings scanned, and
+	// candidates produced.
+	Probes     float64 `json:"probes"`
+	Postings   float64 `json:"postings"`
+	Candidates float64 `json:"candidates"`
+	// FullVerify marks families whose candidates pay a full token-set
+	// intersection at verification; their predicted cost carries a risk
+	// margin.
+	FullVerify bool `json:"full_verify,omitempty"`
+	// Calibrated lanes: nanoseconds per posting unit and per candidate.
+	NsPosting   float64 `json:"ns_posting"`
+	NsCandidate float64 `json:"ns_candidate"`
+	PredictedNS float64 `json:"predicted_ns"`
+	AdjustedNS  float64 `json:"adjusted_ns"`
+}
+
+// TracePlan records one shard's filter-family choice and how it was reached.
+// Only adaptive indexes (WithAdaptivePlanning) produce plan records.
+type TracePlan struct {
+	Shard  int    `json:"shard"`
+	Chosen string `json:"chosen"`
+	// Cached marks a plan-cache hit; ColdStart marks round-robin routing
+	// before the cost model is trusted; Refresh marks a steady-state
+	// re-exploration tick.
+	Cached    bool `json:"cached,omitempty"`
+	ColdStart bool `json:"cold_start,omitempty"`
+	Refresh   bool `json:"refresh,omitempty"`
+	// Families is the cost model's per-family prediction table at decision
+	// time.
+	Families []TraceFamilyCost `json:"families,omitempty"`
+}
+
+// TracePrune records one shard skipped before dispatch: the upper bound on
+// any member's spatial similarity (Bound) provably cannot reach the query's
+// spatial threshold (TauR).
+type TracePrune struct {
+	Shard int     `json:"shard"`
+	Bound float64 `json:"bound"`
+	TauR  float64 `json:"tau_r"`
+}
+
+// Trace is one query's recorded execution: what ran, where the time went,
+// and why the engine routed the query the way it did.
+type Trace struct {
+	// Elapsed is the wall clock from request admission to trace assembly.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Spans lists every recorded stage in recording order. Spans from
+	// concurrent shards overlap; see TraceSpan.
+	Spans []TraceSpan `json:"spans"`
+	// Plans lists the adaptive planner's decisions (one per planned shard
+	// search; ranked requests plan once per descent round). Nil on static
+	// indexes.
+	Plans []TracePlan `json:"plans,omitempty"`
+	// Pruned lists the shards skipped by extent pruning. Nil when none were.
+	Pruned []TracePrune `json:"pruned,omitempty"`
+}
+
+// StageTotals sums span durations by stage name — the shape consumed by
+// per-stage latency metrics. Concurrent shard spans sum, so a stage total
+// can exceed Elapsed on a sharded index.
+func (t *Trace) StageTotals() map[string]time.Duration {
+	if t == nil {
+		return nil
+	}
+	totals := make(map[string]time.Duration, 5)
+	for _, s := range t.Spans {
+		totals[s.Stage] += s.Duration
+	}
+	return totals
+}
+
+// CollectTrace asks the query to record an execution trace in Results.Trace.
+// Tracing a query adds the recorder's allocations and a clock read per
+// stage; queries without it keep the zero-allocation hot path.
+func CollectTrace() QueryOption {
+	return func(c *queryConfig) { c.collectTrace = true }
+}
+
+// TraceInto writes the query's execution trace into t when execution
+// finishes. It is the trace channel for Stream, whose iterator cannot carry
+// a Results: t is filled when the stream ends, reporting the partial work an
+// abandoned stream actually did. It implies CollectTrace on Query.
+// QueryBatch only honors the CollectTrace side (each query's trace arrives
+// in its own Results.Trace); the shared pointer is not written, since
+// concurrent queries would race on it.
+func TraceInto(t *Trace) QueryOption {
+	return func(c *queryConfig) { c.traceInto = t }
+}
+
+// traceOut converts the internal recorder into the public Trace, naming
+// filter families through the engine.
+func (ix *Index) traceOut(rec *trace.Rec) *Trace {
+	spans, plans, pruned, elapsed := rec.Snapshot()
+	t := &Trace{Elapsed: elapsed}
+	if len(spans) > 0 {
+		t.Spans = make([]TraceSpan, len(spans))
+		for i, s := range spans {
+			t.Spans[i] = TraceSpan{
+				Stage:           s.Stage.String(),
+				Shard:           s.Shard,
+				Family:          ix.eng.FamilyName(s.Family),
+				Start:           s.Start,
+				Duration:        s.Dur,
+				ListsProbed:     s.ListsProbed,
+				PostingsScanned: s.PostingsScanned,
+				Candidates:      s.Candidates,
+				Results:         s.Results,
+			}
+		}
+	}
+	if len(plans) > 0 {
+		t.Plans = make([]TracePlan, len(plans))
+		for i, d := range plans {
+			p := TracePlan{
+				Shard:     d.Shard,
+				Chosen:    ix.eng.FamilyName(d.Chosen),
+				Cached:    d.Cached,
+				ColdStart: d.ColdStart,
+				Refresh:   d.Refresh,
+			}
+			if len(d.Families) > 0 {
+				p.Families = make([]TraceFamilyCost, len(d.Families))
+				for j, f := range d.Families {
+					p.Families[j] = TraceFamilyCost{
+						Family:      ix.eng.FamilyName(f.Family),
+						Probes:      f.Probes,
+						Postings:    f.Postings,
+						Candidates:  f.Candidates,
+						FullVerify:  f.FullVerify,
+						NsPosting:   f.NsPosting,
+						NsCandidate: f.NsCandidate,
+						PredictedNS: f.PredictedNS,
+						AdjustedNS:  f.AdjustedNS,
+					}
+				}
+			}
+			t.Plans[i] = p
+		}
+	}
+	if len(pruned) > 0 {
+		t.Pruned = make([]TracePrune, len(pruned))
+		for i, p := range pruned {
+			t.Pruned[i] = TracePrune{Shard: p.Shard, Bound: p.Bound, TauR: p.TauR}
+		}
+	}
+	return t
+}

@@ -1,0 +1,257 @@
+package seal_test
+
+// Trace differential tests: requesting a trace must never change an answer —
+// traced and untraced runs are bit-identical across shard counts and
+// execution modes (threshold, ranked, streamed, limited) — and the trace
+// itself must carry every pipeline stage on one timeline, with the adaptive
+// planner's decisions when planning is on.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"github.com/sealdb/seal"
+)
+
+// stageCount tallies a trace's spans by stage name.
+func stageCount(tr *seal.Trace) map[string]int {
+	counts := make(map[string]int)
+	for _, s := range tr.Spans {
+		counts[s.Stage]++
+	}
+	return counts
+}
+
+// requireSameMatches asserts bit-identity between two match slices.
+func requireSameMatches(t *testing.T, label string, got, want []seal.Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matches, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s match %d: %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// requireTraceShape asserts the invariants every trace satisfies: time zero
+// anchored at admission, a positive elapsed clock, and every span lying on
+// the recorder's timeline.
+func requireTraceShape(t *testing.T, label string, tr *seal.Trace, stages ...string) {
+	t.Helper()
+	if tr == nil {
+		t.Fatalf("%s: no trace collected", label)
+	}
+	if tr.Elapsed <= 0 {
+		t.Fatalf("%s: elapsed %v, want > 0", label, tr.Elapsed)
+	}
+	counts := stageCount(tr)
+	for _, stage := range stages {
+		if counts[stage] == 0 {
+			t.Fatalf("%s: no %q span recorded (spans: %v)", label, stage, counts)
+		}
+	}
+	for i, s := range tr.Spans {
+		if s.Start < 0 || s.Duration < 0 {
+			t.Fatalf("%s span %d (%s): negative timing start=%v dur=%v", label, i, s.Stage, s.Start, s.Duration)
+		}
+	}
+	if tr.Spans[0].Stage != "admit" || tr.Spans[0].Shard != -1 || tr.Spans[0].Duration <= 0 {
+		t.Fatalf("%s: first span %+v, want a query-level admit span with nonzero duration", label, tr.Spans[0])
+	}
+}
+
+// TestTraceDifferential: across 1/2/3/8 shards and every execution mode, a
+// traced query returns exactly the untraced answer, and the trace reports the
+// stages that mode runs.
+func TestTraceDifferential(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(20260808))
+	objects := shardObjects(300, rng)
+	queries := shardQueries(12, rng)
+
+	for _, shards := range []int{1, 2, 3, 8} {
+		ix, err := seal.Build(objects, seal.WithMethod(seal.MethodSeal), seal.WithMaxLevel(8), seal.WithShards(shards))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for qi, q := range queries {
+			label := fmt.Sprintf("shards=%d query=%d", shards, qi)
+			req := q.Request()
+
+			// Threshold, default ID order: the materialized scatter path.
+			plain, err := ix.Query(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.Trace != nil {
+				t.Fatalf("%s: untraced query carried a trace", label)
+			}
+			traced, err := ix.Query(ctx, req, seal.CollectTrace())
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameMatches(t, label+" threshold", traced.Matches, plain.Matches)
+			requireTraceShape(t, label+" threshold", traced.Trace, "admit", "filter", "verify", "merge")
+
+			// Limited: the verification-capped ID-ordered path.
+			wantLimited := plain.Matches
+			if len(wantLimited) > 3 {
+				wantLimited = wantLimited[:3]
+			}
+			limited, err := ix.Query(ctx, req, seal.OrderByID(), seal.Limit(3), seal.CollectTrace())
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameMatches(t, label+" limit", limited.Matches, wantLimited)
+			requireTraceShape(t, label+" limit", limited.Trace, "admit", "filter", "merge")
+
+			// Streamed, arrival order: collect everything, compare as a set
+			// (arrival order is unspecified), and take the trace through
+			// TraceInto since the iterator has no Results to carry it.
+			var streamTrace seal.Trace
+			var streamed []seal.Match
+			for m, err := range ix.Stream(ctx, req, seal.TraceInto(&streamTrace)) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				streamed = append(streamed, m)
+			}
+			slices.SortFunc(streamed, func(a, b seal.Match) int { return a.ID - b.ID })
+			requireSameMatches(t, label+" stream", streamed, plain.Matches)
+			requireTraceShape(t, label+" stream", &streamTrace, "admit", "filter")
+
+			// Ranked: the top-k descent.
+			tq := seal.TopKQuery{Region: q.Region, Tokens: q.Tokens, K: 1 + qi%5, Alpha: 0.5, FloorR: 0.01, FloorT: 0.01}
+			plainRanked, err := ix.Query(ctx, tq.Request())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tracedRanked, err := ix.Query(ctx, tq.Request(), seal.CollectTrace())
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameMatches(t, label+" ranked", tracedRanked.Matches, plainRanked.Matches)
+			requireTraceShape(t, label+" ranked", tracedRanked.Trace, "admit", "merge")
+
+			// StageTotals mirrors the spans exactly.
+			totals := traced.Trace.StageTotals()
+			for _, s := range traced.Trace.Spans {
+				if totals[s.Stage] < s.Duration {
+					t.Fatalf("%s: stage total %v below one of its spans (%v)", label, totals[s.Stage], s.Duration)
+				}
+			}
+		}
+	}
+}
+
+// TestTraceAdaptivePlans: with adaptive planning every planned shard search
+// records its routing decision with the full cost table, pruned shards are
+// reported with the bound that pruned them, and tracing still changes no
+// answer.
+func TestTraceAdaptivePlans(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
+	objects := shardObjects(300, rng)
+	queries := shardQueries(12, rng)
+
+	for _, shards := range []int{1, 3} {
+		ix, err := seal.Build(objects, seal.WithMethod(seal.MethodSeal), seal.WithMaxLevel(4),
+			seal.WithGranularity(64), seal.WithAdaptivePlanning(), seal.WithShards(shards))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for qi, q := range queries {
+			label := fmt.Sprintf("adaptive shards=%d query=%d", shards, qi)
+			plain, err := ix.Query(ctx, q.Request())
+			if err != nil {
+				t.Fatal(err)
+			}
+			traced, err := ix.Query(ctx, q.Request(), seal.CollectTrace(), seal.CollectStats())
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameMatches(t, label, traced.Matches, plain.Matches)
+			requireTraceShape(t, label, traced.Trace, "admit", "merge")
+
+			tr := traced.Trace
+			if len(tr.Plans)+len(tr.Pruned) < shards {
+				t.Fatalf("%s: %d plans + %d pruned for %d shards; every shard must be planned or pruned",
+					label, len(tr.Plans), len(tr.Pruned), shards)
+			}
+			for _, p := range tr.Plans {
+				if p.Chosen == "" {
+					t.Fatalf("%s: plan for shard %d has no chosen family", label, p.Shard)
+				}
+				if len(p.Families) == 0 {
+					t.Fatalf("%s: plan for shard %d has no cost table", label, p.Shard)
+				}
+				chosenListed := false
+				for _, f := range p.Families {
+					if f.Family == "" {
+						t.Fatalf("%s: unnamed family in cost table: %+v", label, f)
+					}
+					if f.PredictedNS < 0 || f.AdjustedNS < f.PredictedNS {
+						t.Fatalf("%s: implausible costs for %s: predicted %v adjusted %v",
+							label, f.Family, f.PredictedNS, f.AdjustedNS)
+					}
+					chosenListed = chosenListed || f.Family == p.Chosen
+				}
+				if !chosenListed {
+					t.Fatalf("%s: chosen family %q missing from its own cost table", label, p.Chosen)
+				}
+			}
+			for _, pr := range tr.Pruned {
+				if pr.Bound >= pr.TauR {
+					t.Fatalf("%s: shard %d pruned with bound %v >= tauR %v", label, pr.Shard, pr.Bound, pr.TauR)
+				}
+			}
+			if traced.Stats != nil && traced.Stats.ShardsPruned != len(tr.Pruned) {
+				t.Fatalf("%s: stats report %d pruned shards, trace lists %d",
+					label, traced.Stats.ShardsPruned, len(tr.Pruned))
+			}
+		}
+	}
+}
+
+// TestTraceInto: the option fills the caller's Trace and implies collection;
+// batch queries deliver per-query traces but never write the shared pointer.
+func TestTraceInto(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(5))
+	ix, err := seal.Build(shardObjects(120, rng), seal.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := shardQueries(1, rng)[0]
+
+	var tr seal.Trace
+	res, err := ix.Query(ctx, q.Request(), seal.TraceInto(&tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || len(tr.Spans) == 0 {
+		t.Fatal("TraceInto did not imply CollectTrace or did not fill the target")
+	}
+	if len(tr.Spans) != len(res.Trace.Spans) || tr.Elapsed != res.Trace.Elapsed {
+		t.Fatal("TraceInto target disagrees with Results.Trace")
+	}
+
+	var shared seal.Trace
+	reqs := []seal.Request{q.Request(), q.Request()}
+	for i, br := range ix.QueryBatch(ctx, reqs, seal.TraceInto(&shared)) {
+		if br.Err != nil {
+			t.Fatal(br.Err)
+		}
+		if br.Results.Trace == nil || len(br.Results.Trace.Spans) == 0 {
+			t.Fatalf("batch query %d missing its own trace", i)
+		}
+	}
+	if shared.Spans != nil {
+		t.Fatal("QueryBatch wrote the shared TraceInto pointer (a data race between queries)")
+	}
+}
