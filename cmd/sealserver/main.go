@@ -90,6 +90,8 @@ func run() error {
 		maxBatch     = flag.Int("max-batch", base.MaxBatch, "query cap for one /v1/query/batch call")
 		grace        = flag.Duration("grace", base.ShutdownGrace, "shutdown drain deadline for in-flight requests")
 		slowQuery    = flag.Duration("slow-query", base.SlowQuery, "slow-query threshold: offenders are counted, flagged in the query log, and trace-logged rate-limited (0 disables)")
+		allowPartial = flag.Bool("allow-partial", base.AllowPartial, "serve degraded answers (HTTP 206) when a shard fails instead of failing the query")
+		shardTimeout = flag.Duration("shard-timeout", base.ShardTimeout, "per-shard search deadline; a slow shard is dropped from the merge (requires -allow-partial, 0 disables)")
 		pprofOn      = flag.Bool("pprof", base.Pprof, "mount /debug/pprof/* profiling endpoints")
 		quietQueries = flag.Bool("no-query-log", false, "disable the per-request JSON log line on stderr")
 	)
@@ -110,6 +112,8 @@ func run() error {
 	cfg.MaxBatch = *maxBatch
 	cfg.ShutdownGrace = *grace
 	cfg.SlowQuery = *slowQuery
+	cfg.AllowPartial = *allowPartial
+	cfg.ShardTimeout = *shardTimeout
 	cfg.Pprof = *pprofOn
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -127,6 +131,9 @@ func run() error {
 	logf("index ready: %s, %d objects, %d shard(s), %.1f MB, boot=%s in %v, fingerprint=%s",
 		st.Method, st.Objects, st.Shards, float64(st.IndexBytes)/(1<<20),
 		boot.Source, boot.BootTime.Round(time.Millisecond), ix.Fingerprint())
+	if boot.Quarantined > 0 {
+		logf("WARNING: serving degraded: %d shard(s) quarantined (see /readyz and /v1/status)", boot.Quarantined)
+	}
 
 	var qlog *server.QueryLog
 	if !*quietQueries {

@@ -185,6 +185,39 @@
 // IndexStats reports the storage state: Mapped is true for a segment-backed
 // index, Compressed when posting lists are stored encoded.
 //
+// # Failure modes and recovery
+//
+// Saves are crash-safe: every artifact streams into a temp file that is
+// fsynced and atomically renamed into place, and the manifest — removed
+// before any shard is rewritten, written after all of them — is the commit
+// point. A crash mid-save leaves the previous generation or a complete new
+// one, never a torn index; stale temp files are swept at the next open.
+//
+// Open CRC-verifies every shard segment and quarantines a corrupt or
+// missing one instead of failing: the index boots, serves the surviving
+// shards, and reports the damage through Health (per-shard
+// serving/quarantined/rebuilt states) and Quarantined. WithRepair rebuilds
+// damaged shards from the directory's dataset snapshot and re-saves them,
+// restoring exact answers; Build with WithSegmentDir falls back to a full
+// rebuild when the directory is stale or damaged.
+//
+// Queries over a degraded index are strict by default: they fail with
+// ErrShardQuarantined (match with errors.Is, alongside ErrCorruptSegment
+// and ErrManifestMismatch) rather than pass a partial answer off as
+// complete. AllowPartial opts in to degraded answers: failed, panicked,
+// timed-out, or quarantined shards are dropped from the merge, the answer
+// is exactly the full answer minus the lost shards' objects (bit-identical
+// similarities on every surviving match), Results.Degraded is set, and
+// Stats.ShardErrors counts the drops. ShardTimeout bounds each shard's
+// search under AllowPartial; a panic inside a shard search is recovered
+// into an error in every mode.
+//
+//	ix, err := seal.Open(dir)                  // quarantines damage, never torn
+//	res, err := ix.Query(ctx, req)             // strict: ErrShardQuarantined
+//	res, err = ix.Query(ctx, req,
+//		seal.AllowPartial(), seal.ShardTimeout(50*time.Millisecond))
+//	if res.Degraded { ... }                    // exact minus the lost shards
+//
 // # Serving
 //
 // cmd/sealserver wraps the library in a production HTTP daemon: it boots an
@@ -202,9 +235,14 @@
 // and /readyz split liveness from readiness, GET /metrics exposes
 // Prometheus-format counters and latency histograms (including engine work:
 // postings scanned, candidates verified, realized shard fan-out), and GET
-// /v1/status reports build info, the dataset fingerprint, and boot
-// provenance. The serving layer lives in internal/server behind plain
-// http.Handlers; examples/server drives a complete session in-process.
+// /v1/status reports build info, the dataset fingerprint, boot provenance,
+// and per-shard health. With -allow-partial the daemon serves degraded
+// answers as HTTP 206 (strict daemons answer 503 while a shard is
+// quarantined), -shard-timeout adds a per-shard search deadline, and a boot
+// with -data present recovers from an unusable segment directory by
+// clearing and rebuilding it. The serving layer lives in internal/server
+// behind plain http.Handlers; examples/server drives a complete session
+// in-process.
 //
 // # Observability
 //

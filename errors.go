@@ -1,0 +1,29 @@
+package seal
+
+// Sentinel errors for storage and degraded-mode failures. Errors returned by
+// Open, Build(WithSegmentDir), and Query wrap these, so callers distinguish
+// failure classes with errors.Is instead of matching message strings.
+
+import (
+	"github.com/sealdb/seal/internal/diskidx"
+	"github.com/sealdb/seal/internal/engine"
+)
+
+var (
+	// ErrCorruptSegment reports on-disk index data that failed validation: a
+	// checksum mismatch, a truncated or malformed section, or an unreadable
+	// snapshot or partition file. Open quarantines single-shard corruption;
+	// this sentinel surfaces when the damage compromises the whole directory.
+	ErrCorruptSegment = diskidx.ErrCorrupt
+
+	// ErrManifestMismatch reports a segment directory that is intact but does
+	// not belong to this index: a different dataset fingerprint or an
+	// unsupported manifest version.
+	ErrManifestMismatch = engine.ErrManifestMismatch
+
+	// ErrShardQuarantined reports a query that needed a shard sidelined at
+	// open time. Default queries return it so callers never mistake a partial
+	// answer for a complete one; opting in with AllowPartial skips the shard
+	// and marks the results Degraded instead.
+	ErrShardQuarantined = engine.ErrShardQuarantined
+)

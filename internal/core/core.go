@@ -214,6 +214,11 @@ type SearchStats struct {
 	// partition extent provably cannot reach TauR against the query rect
 	// (adaptive planning only; always zero otherwise).
 	ShardsPruned int
+	// ShardErrors counts shards dropped from this query's merge because they
+	// failed, panicked, timed out, or were quarantined at open time. Always
+	// zero on default (strict) queries, which fail instead of dropping; only
+	// partial-tolerant queries record drops.
+	ShardErrors int
 	// Plans counts, per filter-family index of a multi-filter searcher, how
 	// many shard searches the planner executed with that family. A fixed
 	// array keeps SearchStats a flat value (Merge stays allocation-free);
@@ -238,6 +243,7 @@ func (s *SearchStats) Merge(other SearchStats) {
 	s.VerifyTime += other.VerifyTime
 	s.Shards += other.Shards
 	s.ShardsPruned += other.ShardsPruned
+	s.ShardErrors += other.ShardErrors
 	for i := range s.Plans {
 		s.Plans[i] += other.Plans[i]
 	}

@@ -31,6 +31,7 @@ import (
 	"math"
 	"os"
 
+	"github.com/sealdb/seal/internal/faultfs"
 	"github.com/sealdb/seal/internal/invidx"
 )
 
@@ -72,36 +73,32 @@ func SaveDual(path string, idx *invidx.DualIndex) error {
 }
 
 func save(path string, dual bool, body func(*countingWriter) error, count int) error {
-	f, err := os.Create(path)
+	// Same crash-safe temp+fsync+rename protocol as the SEALIDX2 segments:
+	// a crash mid-save never leaves a torn file under the real name.
+	err := faultfs.Atomic(path, func(out io.Writer) error {
+		w := &countingWriter{w: bufio.NewWriterSize(out, 1<<20)}
+		if _, err := w.Write(magic[:]); err != nil {
+			return err
+		}
+		flags := byte(0)
+		if dual {
+			flags = flagDual
+		}
+		if err := binary.Write(w, binary.LittleEndian, flags); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(count)); err != nil {
+			return err
+		}
+		if err := body(w); err != nil {
+			return err
+		}
+		return w.w.Flush()
+	})
 	if err != nil {
 		return fmt.Errorf("diskidx: %w", err)
 	}
-	w := &countingWriter{w: bufio.NewWriterSize(f, 1<<20)}
-	if _, err := w.Write(magic[:]); err != nil {
-		f.Close()
-		return err
-	}
-	flags := byte(0)
-	if dual {
-		flags = flagDual
-	}
-	if err := binary.Write(w, binary.LittleEndian, flags); err != nil {
-		f.Close()
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, uint32(count)); err != nil {
-		f.Close()
-		return err
-	}
-	if err := body(w); err != nil {
-		f.Close()
-		return err
-	}
-	if err := w.w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return nil
 }
 
 // countingWriter tracks the byte offset while writing.

@@ -35,8 +35,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 
+	"github.com/sealdb/seal/internal/faultfs"
 	"github.com/sealdb/seal/internal/invidx"
 )
 
@@ -145,25 +147,28 @@ func WriteSegment(path string, idx any, objects int) error {
 	binary.LittleEndian.PutUint64(hdr[32:], uint64(objects))
 	binary.LittleEndian.PutUint32(hdr[40:], uint32(len(secs)))
 
-	f, err := os.Create(path)
+	// Crash-safe write protocol: the segment streams into path+".tmp",
+	// which is fsynced and atomically renamed over path (faultfs.Atomic).
+	// A crash at any step leaves the previous segment (or nothing) plus at
+	// worst an abandoned temp for the boot-time sweep — never a torn file
+	// under the real name.
+	err := faultfs.Atomic(path, func(out io.Writer) error {
+		w := &segWriter{w: bufio.NewWriterSize(out, 1<<20)}
+		w.write(hdr[:])
+		w.write(table)
+		for _, s := range secs {
+			w.padTo(s.off)
+			w.write(s.data)
+		}
+		if w.err == nil {
+			w.err = w.w.Flush()
+		}
+		return w.err
+	})
 	if err != nil {
 		return fmt.Errorf("diskidx: %w", err)
 	}
-	w := &segWriter{w: bufio.NewWriterSize(f, 1<<20)}
-	w.write(hdr[:])
-	w.write(table)
-	for _, s := range secs {
-		w.padTo(s.off)
-		w.write(s.data)
-	}
-	if w.err == nil {
-		w.err = w.w.Flush()
-	}
-	if w.err != nil {
-		f.Close()
-		return fmt.Errorf("diskidx: %w", w.err)
-	}
-	return f.Close()
+	return nil
 }
 
 func rawSections(a invidx.RawArenas, dual bool) []section {
@@ -258,6 +263,10 @@ func OpenMapped(path string) (*Segment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("diskidx: %w", err)
 	}
+	// The injection seam for read corruption: with a fault installed the
+	// returned bytes may be a bit-flipped copy, exercising exactly the
+	// validation a damaged disk would.
+	data = faultfs.CorruptRead(path, data)
 	seg, err := openSegment(data)
 	if err != nil {
 		closer()

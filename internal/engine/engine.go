@@ -58,6 +58,13 @@ type shard struct {
 	// Adaptive planning state; nil on static engines.
 	filters []core.Filter
 	plan    *planner.ShardPlan
+	// down marks a shard quarantined at open time: its segment was corrupt or
+	// missing and it holds no filter or pool. Strict queries fail with
+	// ErrShardQuarantined; partial queries skip it and count a ShardError.
+	down error
+	// rebuilt marks a shard whose segment was repaired from the dataset
+	// snapshot at open time (OpenOptions.Repair).
+	rebuilt bool
 }
 
 // pruned reports whether the shard provably cannot answer a query over
@@ -292,7 +299,18 @@ func (e *Engine) FamilyName(i int) string {
 		return ""
 	}
 	if i == 0 {
-		return e.shards[0].filter.Name()
+		return e.staticFilterName()
+	}
+	return ""
+}
+
+// staticFilterName names the engine's single static filter, speaking through
+// the first shard that actually has one (a quarantined shard carries none).
+func (e *Engine) staticFilterName() string {
+	for _, s := range e.shards {
+		if s.filter != nil {
+			return s.filter.Name()
+		}
 	}
 	return ""
 }
@@ -315,7 +333,7 @@ func (e *Engine) FilterName() string {
 	if e.planner != nil {
 		return "adaptive(" + strings.Join(e.familyNames, "+") + ")"
 	}
-	return e.shards[0].filter.Name()
+	return e.staticFilterName()
 }
 
 // SizeBytes sums the index footprint across shards — every family's on
@@ -329,7 +347,9 @@ func (e *Engine) SizeBytes() int64 {
 			}
 			continue
 		}
-		n += s.filter.SizeBytes()
+		if s.filter != nil { // quarantined shards carry no filter
+			n += s.filter.SizeBytes()
+		}
 	}
 	return n
 }

@@ -1,0 +1,157 @@
+package engine
+
+// Partial execution: per-shard failure isolation. By default a query is
+// all-or-nothing — any shard failure (or a quarantined shard) fails the whole
+// query, so callers can never mistake a partial answer for a complete one.
+// Opting in via Partial.Allow flips failed shards from fatal to dropped: the
+// merge proceeds over the shards that answered, each drop counts in
+// SearchStats.ShardErrors, and the caller surfaces the result as degraded.
+//
+// The healthy shards' contributions are unchanged by a drop: every shard
+// verifies against exact similarity independently, so a partial answer is
+// exactly the full answer minus the dropped shards' objects.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/faultfs"
+	"github.com/sealdb/seal/internal/model"
+	"github.com/sealdb/seal/internal/trace"
+)
+
+// Partial selects how a query treats shard failures.
+type Partial struct {
+	// Allow drops failed, panicked, timed-out, or quarantined shards from the
+	// merge (counting them in SearchStats.ShardErrors) instead of failing the
+	// query. False — the default — keeps queries all-or-nothing.
+	Allow bool
+	// ShardTimeout bounds one shard's search; a shard that exceeds it is
+	// dropped like a failed shard. Zero means no per-shard bound. Only
+	// meaningful with Allow: a strict query has nothing to drop to.
+	ShardTimeout time.Duration
+}
+
+// errShardTimeout marks a shard search dropped for exceeding ShardTimeout.
+var errShardTimeout = errors.New("engine: shard search exceeded deadline")
+
+// downErr wraps a quarantined shard's boot error with the query-facing
+// sentinel.
+func downErr(idx int, cause error) error {
+	return fmt.Errorf("%w: shard %d: %v", ErrShardQuarantined, idx, cause)
+}
+
+// runShard executes q on one shard with fault isolation: the fault-injection
+// hook runs first, a panic in the filter or verifier becomes an error instead
+// of crashing the process, and a positive deadline switches to the
+// interruptible streaming collector so a slow shard is abandoned at its
+// deadline instead of holding the whole query hostage. Matches return
+// remapped to global IDs and ID-sorted.
+func (e *Engine) runShard(ctx context.Context, s *shard, idx int, q *model.Query, tr *trace.Rec, deadline time.Duration) (matches []core.Match, st core.SearchStats, err error) {
+	if s.down != nil {
+		return nil, core.SearchStats{}, downErr(idx, s.down)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			// The searcher's state is unknown mid-panic, so it is deliberately
+			// not returned to the pool; the pool replaces it on demand.
+			matches, st = nil, core.SearchStats{}
+			err = fmt.Errorf("engine: shard %d panicked: %v", idx, r)
+		}
+	}()
+	// The deadline clock starts before the shard-start hook so an injected
+	// (or real) slow start counts against the budget, exactly like slowness
+	// inside the search itself.
+	var stopAt time.Time
+	if deadline > 0 {
+		stopAt = time.Now().Add(deadline)
+	}
+	faultfs.ShardStart(idx)
+	sr := s.pool.Get()
+	fi := s.applyPlan(q, sr, tr, idx)
+
+	if deadline <= 0 {
+		found, sst := sr.Search(q)
+		// Copy out of the searcher's reused buffer (remapping to global IDs
+		// on the way) before returning it to the pool.
+		matches = make([]core.Match, len(found))
+		for j, m := range found {
+			m.ID = s.global(m.ID)
+			matches[j] = m
+		}
+		s.pool.Put(sr)
+		sst.Shards = 1
+		e.observePlan(s, q, fi, &sst)
+		return matches, sst, nil
+	}
+
+	stopped := false
+	stop := func() bool {
+		if ctx.Err() != nil || time.Now().After(stopAt) {
+			stopped = true
+			return true
+		}
+		return false
+	}
+	sst := sr.SearchStream(q, core.StreamOptions{
+		ByID: true,
+		Stop: stop,
+		Emit: func(m core.Match) bool {
+			m.ID = s.global(m.ID)
+			matches = append(matches, m)
+			return true
+		},
+	})
+	s.pool.Put(sr)
+	// A search that returns after the deadline without ever polling Stop (a
+	// shard with no candidates has no poll points) is just as late: the wall
+	// clock, not the poll, decides.
+	if stopped || time.Now().After(stopAt) {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, core.SearchStats{}, cerr
+		}
+		// Dropped whole, and before observePlan: a truncated shard must not
+		// feed the planner's calibration a misleadingly cheap cost sample.
+		return nil, core.SearchStats{}, fmt.Errorf("%w: shard %d after %v", errShardTimeout, idx, deadline)
+	}
+	sst.Shards = 1
+	e.observePlan(s, q, fi, &sst)
+	return matches, sst, nil
+}
+
+// deadlineInterrupt chains a per-shard deadline onto an existing TopK
+// interrupt hook. The caller computes stopAt at the start of the shard's
+// descent — not at dispatch time, or queued shards would burn their budget
+// waiting for a worker — and re-checks the same clock after the descent
+// returns, because a descent with no poll points can finish late unpolled.
+func deadlineInterrupt(prev func() error, stopAt time.Time) func() error {
+	return func() error {
+		if err := prev(); err != nil {
+			return err
+		}
+		if time.Now().After(stopAt) {
+			return errShardTimeout
+		}
+		return nil
+	}
+}
+
+// dropOrFail folds one failed shard into the merge decision: with part.Allow
+// the failure becomes a ShardErrors count and a nil error; otherwise it is
+// fatal. ctx errors are never dropped — an expired query deadline is the
+// caller's, not a shard's.
+func dropOrFail(ctx context.Context, part Partial, err error, st *core.SearchStats) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+	}
+	if part.Allow {
+		st.ShardErrors++
+		return nil
+	}
+	return err
+}

@@ -24,7 +24,7 @@ import (
 // ctx.Err() immediately without waiting for in-flight shard searches, which
 // finish in the background and are discarded.
 func (e *Engine) Search(ctx context.Context, q *model.Query) ([]core.Match, core.SearchStats, error) {
-	return e.SearchTraced(ctx, q, nil)
+	return e.SearchExec(ctx, q, nil, Partial{})
 }
 
 // SearchTraced is Search with an optional trace recorder. A nil tr is
@@ -32,15 +32,22 @@ func (e *Engine) Search(ctx context.Context, q *model.Query) ([]core.Match, core
 // Search's own. A live tr collects per-shard plan/filter/verify spans, plan
 // decisions, pruned-shard bounds, and an engine-level merge span.
 func (e *Engine) SearchTraced(ctx context.Context, q *model.Query, tr *trace.Rec) ([]core.Match, core.SearchStats, error) {
+	return e.SearchExec(ctx, q, tr, Partial{})
+}
+
+// SearchExec is the full-control entry point: SearchTraced plus a Partial
+// policy for shard failures. The zero Partial is exactly SearchTraced.
+func (e *Engine) SearchExec(ctx context.Context, q *model.Query, tr *trace.Rec, part Partial) ([]core.Match, core.SearchStats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, core.SearchStats{}, err
 	}
 	if len(e.shards) == 1 {
 		if ctx.Done() == nil {
 			// Non-cancellable context (e.g. context.Background()): run on
-			// the calling goroutine, exactly the pre-engine layout.
-			matches, st := e.searchSingle(q, tr)
-			return matches, st, nil
+			// the calling goroutine, exactly the pre-engine layout. A shard
+			// deadline needs no goroutine either — the streaming collector
+			// polls the clock itself.
+			return e.searchSingle(ctx, q, tr, part)
 		}
 		// Cancellable context: the search runs aside so an expiring ctx
 		// returns promptly; an abandoned search finishes in the background
@@ -48,11 +55,12 @@ func (e *Engine) SearchTraced(ctx context.Context, q *model.Query, tr *trace.Rec
 		type result struct {
 			matches []core.Match
 			st      core.SearchStats
+			err     error
 		}
 		done := make(chan result, 1)
 		go func() {
-			matches, st := e.searchSingle(q, tr)
-			done <- result{matches, st}
+			matches, st, err := e.searchSingle(ctx, q, tr, part)
+			done <- result{matches, st, err}
 		}()
 		select {
 		case r := <-done:
@@ -62,12 +70,12 @@ func (e *Engine) SearchTraced(ctx context.Context, q *model.Query, tr *trace.Rec
 			if err := ctx.Err(); err != nil {
 				return nil, core.SearchStats{}, err
 			}
-			return r.matches, r.st, nil
+			return r.matches, r.st, r.err
 		case <-ctx.Done():
 			return nil, core.SearchStats{}, ctx.Err()
 		}
 	}
-	return e.searchScatter(ctx, q, tr)
+	return e.searchScatter(ctx, q, tr, part)
 }
 
 // SearchBatched is Search for batch workers: ctx gates the start of the
@@ -75,100 +83,104 @@ func (e *Engine) SearchTraced(ctx context.Context, q *model.Query, tr *trace.Rec
 // cancellation between queries — so the single-shard fast path stays free of
 // per-query goroutines and channels.
 func (e *Engine) SearchBatched(ctx context.Context, q *model.Query) ([]core.Match, core.SearchStats, error) {
-	return e.SearchBatchedTraced(ctx, q, nil)
+	return e.SearchBatchedExec(ctx, q, nil, Partial{})
 }
 
 // SearchBatchedTraced is SearchBatched with an optional trace recorder; see
 // SearchTraced for the recording contract.
 func (e *Engine) SearchBatchedTraced(ctx context.Context, q *model.Query, tr *trace.Rec) ([]core.Match, core.SearchStats, error) {
+	return e.SearchBatchedExec(ctx, q, tr, Partial{})
+}
+
+// SearchBatchedExec is SearchBatched with a trace recorder and a Partial
+// policy; see SearchExec.
+func (e *Engine) SearchBatchedExec(ctx context.Context, q *model.Query, tr *trace.Rec, part Partial) ([]core.Match, core.SearchStats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, core.SearchStats{}, err
 	}
 	if len(e.shards) == 1 {
-		matches, st := e.searchSingle(q, tr)
-		return matches, st, nil
+		return e.searchSingle(ctx, q, tr, part)
 	}
-	return e.searchScatter(ctx, q, tr)
+	return e.searchScatter(ctx, q, tr, part)
 }
 
 // searchSingle runs q synchronously on a single-shard engine.
-func (e *Engine) searchSingle(q *model.Query, tr *trace.Rec) ([]core.Match, core.SearchStats) {
+func (e *Engine) searchSingle(ctx context.Context, q *model.Query, tr *trace.Rec, part Partial) ([]core.Match, core.SearchStats, error) {
 	s := e.shards[0]
 	if s.pruned(q.Region, q.TauR, tr, 0) {
 		// Pruned shards never ran, so they do not count toward Shards (the
 		// realized fan-out) — only toward ShardsPruned.
-		return nil, core.SearchStats{ShardsPruned: 1}
+		return nil, core.SearchStats{ShardsPruned: 1}, nil
 	}
-	sr := s.pool.Get()
-	fi := s.applyPlan(q, sr, tr, 0)
-	matches, st := sr.Search(q)
-	var mergeStart time.Time
-	if tr != nil {
-		mergeStart = time.Now()
+	matches, st, err := e.runShard(ctx, s, 0, q, tr, part.ShardTimeout)
+	if err != nil {
+		var dst core.SearchStats
+		if ferr := dropOrFail(ctx, part, err, &dst); ferr != nil {
+			return nil, core.SearchStats{}, ferr
+		}
+		// The only shard was dropped: an empty, degraded answer.
+		return nil, dst, nil
 	}
-	// The searcher owns its match buffer; copy before it returns to the pool
-	// or the next borrower would overwrite our caller's results.
-	out := append(make([]core.Match, 0, len(matches)), matches...)
-	s.pool.Put(sr)
-	st.Shards = 1
-	e.observePlan(s, q, fi, &st)
-	traceMerge(tr, mergeStart, len(out))
-	return out, st
+	traceMerge(tr, time.Now(), len(matches))
+	return matches, st, nil
 }
 
 // searchScatter fans q out across all shards concurrently and gathers the
-// remapped, ID-ordered union.
-func (e *Engine) searchScatter(ctx context.Context, q *model.Query, tr *trace.Rec) ([]core.Match, core.SearchStats, error) {
+// remapped, ID-ordered union. Shard failures follow part: strict queries fail
+// on the first failed shard, partial queries drop it from the merge.
+func (e *Engine) searchScatter(ctx context.Context, q *model.Query, tr *trace.Rec, part Partial) ([]core.Match, core.SearchStats, error) {
 	type shardResult struct {
+		idx     int
 		matches []core.Match
 		st      core.SearchStats
+		err     error
 	}
-	results := make([]shardResult, len(e.shards))
-	var wg sync.WaitGroup
+	var st core.SearchStats
+	// Buffered to the dispatch count: a straggler abandoned by an early
+	// (strict-failure or ctx) return still finds room to send and exit.
+	resCh := make(chan shardResult, len(e.shards))
+	dispatched := 0
 	for i, s := range e.shards {
+		if s.down != nil {
+			if !part.Allow {
+				return nil, core.SearchStats{}, downErr(i, s.down)
+			}
+			st.ShardErrors++
+			continue
+		}
 		if s.pruned(q.Region, q.TauR, tr, i) {
 			// The shard's extent provably cannot reach τR: skip the dispatch
 			// entirely — no goroutine, no searcher, no scan. It never ran, so
 			// it counts toward ShardsPruned, not Shards (the realized fan-out).
-			results[i] = shardResult{st: core.SearchStats{ShardsPruned: 1}}
+			st.ShardsPruned++
 			continue
 		}
-		wg.Add(1)
+		dispatched++
 		go func(i int, s *shard) {
-			defer wg.Done()
-			if ctx.Err() != nil {
+			if err := ctx.Err(); err != nil {
+				resCh <- shardResult{idx: i, err: err}
 				return
 			}
-			sr := s.pool.Get()
-			fi := s.applyPlan(q, sr, tr, i)
-			found, st := sr.Search(q)
-			// Copy out of the searcher's reused buffer (remapping to global
-			// IDs on the way) before returning it to the pool.
-			matches := make([]core.Match, len(found))
-			for j, m := range found {
-				m.ID = s.global(m.ID)
-				matches[j] = m
-			}
-			s.pool.Put(sr)
-			st.Shards = 1
-			e.observePlan(s, q, fi, &st)
-			results[i] = shardResult{matches: matches, st: st}
+			matches, sst, err := e.runShard(ctx, s, i, q, tr, part.ShardTimeout)
+			resCh <- shardResult{idx: i, matches: matches, st: sst, err: err}
 		}(i, s)
 	}
-	if ctx.Done() == nil {
-		// Non-cancellable context: nothing can interrupt the gather, so
-		// skip the watcher goroutine and wait directly.
-		wg.Wait()
-	} else {
-		done := make(chan struct{})
-		go func() { wg.Wait(); close(done) }()
+	results := make([][]core.Match, len(e.shards))
+	for got := 0; got < dispatched; got++ {
 		select {
-		case <-done:
+		case r := <-resCh:
+			if r.err != nil {
+				if ferr := dropOrFail(ctx, part, r.err, &st); ferr != nil {
+					return nil, core.SearchStats{}, ferr
+				}
+				continue
+			}
+			results[r.idx] = r.matches
+			st.Merge(r.st)
 		case <-ctx.Done():
+			// A nil Done channel (non-cancellable ctx) never fires, so this
+			// select degrades to a plain receive.
 			return nil, core.SearchStats{}, ctx.Err()
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, core.SearchStats{}, err
 		}
 	}
 
@@ -176,15 +188,13 @@ func (e *Engine) searchScatter(ctx context.Context, q *model.Query, tr *trace.Re
 	if tr != nil {
 		mergeStart = time.Now()
 	}
-	var st core.SearchStats
 	total := 0
-	for _, r := range results {
-		total += len(r.matches)
+	for _, m := range results {
+		total += len(m)
 	}
 	merged := make([]core.Match, 0, total)
-	for _, r := range results {
-		merged = append(merged, r.matches...)
-		st.Merge(r.st)
+	for _, m := range results {
+		merged = append(merged, m...)
 	}
 	// Shard partitions are ID-sorted and disjoint, so this is a k-way merge
 	// of sorted runs; a plain sort keeps it simple.

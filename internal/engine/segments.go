@@ -22,6 +22,7 @@ import (
 
 	"github.com/sealdb/seal/internal/core"
 	"github.com/sealdb/seal/internal/diskidx"
+	"github.com/sealdb/seal/internal/faultfs"
 	"github.com/sealdb/seal/internal/gridtree"
 	"github.com/sealdb/seal/internal/invidx"
 	"github.com/sealdb/seal/internal/model"
@@ -60,8 +61,20 @@ type Manifest struct {
 
 const manifestVersion = 1
 
-// ErrNoSegments reports a directory without a readable manifest.
+// ErrNoSegments reports a directory without a readable manifest. Because the
+// manifest is written last and removed first, this is the normal state of an
+// interrupted save — it signals "rebuild", never "serve what's there".
 var ErrNoSegments = errors.New("engine: no segment manifest")
+
+// ErrManifestMismatch reports a manifest that is readable but describes a
+// different dataset or an unsupported layout version — the directory is
+// intact, it just does not belong to this index.
+var ErrManifestMismatch = errors.New("engine: segment manifest mismatch")
+
+// ErrShardQuarantined reports a query (or open) touching a shard that was
+// sidelined at boot because its segment was corrupt or missing. Queries with
+// partial results allowed skip such shards instead.
+var ErrShardQuarantined = errors.New("engine: shard quarantined")
 
 // ReadManifest loads dir's manifest, or ErrNoSegments if absent.
 func ReadManifest(dir string) (*Manifest, error) {
@@ -74,10 +87,10 @@ func ReadManifest(dir string) (*Manifest, error) {
 	}
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("engine: parsing manifest: %w", err)
+		return nil, fmt.Errorf("%w: parsing manifest: %v", diskidx.ErrCorrupt, err)
 	}
 	if m.Version != manifestVersion {
-		return nil, fmt.Errorf("engine: unsupported manifest version %d", m.Version)
+		return nil, fmt.Errorf("%w: unsupported manifest version %d", ErrManifestMismatch, m.Version)
 	}
 	return &m, nil
 }
@@ -144,15 +157,34 @@ func segmentSource(f core.Filter) (src any, grids [][]gridtree.NodeID, spec Filt
 
 // SaveSegments persists the engine into dir (created if needed): the dataset
 // snapshot, the shard partition, one SEALIDX2 segment per shard, per-shard
-// grid selections for the SEAL method, and the manifest (written last, so a
-// torn save never yields a directory that claims to be complete).
+// grid selections for the SEAL method, and the manifest.
+//
+// The save is crash-safe. Every artifact is written to a *.tmp file, fsynced
+// and atomically renamed into place, and the manifest is the enforced commit
+// point: it is removed before the first byte of new data is written and
+// recreated only after every other artifact is durable, so a crash at any
+// step leaves a directory that reads as ErrNoSegments (rebuild), never one
+// that claims completeness over torn or mixed-generation files.
 func (e *Engine) SaveSegments(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := faultfs.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}
+	if _, err := faultfs.SweepTemps(dir); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	// Drop the commit point first: from here until the new manifest lands
+	// the directory is formally "no segments", so an interrupted save reads
+	// as a clean rebuild signal on the next boot.
+	if err := faultfs.Remove(filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+
 	var spec FilterSpec
 	compressed := false
 	for i, s := range e.shards {
+		if s.filter == nil {
+			return fmt.Errorf("engine: cannot save shard %d: %w", i, ErrShardQuarantined)
+		}
 		src, grids, sp, err := segmentSource(s.filter)
 		if err != nil {
 			return err
@@ -174,15 +206,9 @@ func (e *Engine) SaveSegments(dir string) error {
 		}
 	}
 
-	df, err := os.Create(filepath.Join(dir, datasetName))
-	if err != nil {
-		return fmt.Errorf("engine: %w", err)
-	}
-	if err := e.root.WriteSnapshot(df); err != nil {
-		df.Close()
-		return err
-	}
-	if err := df.Close(); err != nil {
+	if err := faultfs.Atomic(filepath.Join(dir, datasetName), func(w io.Writer) error {
+		return e.root.WriteSnapshot(w)
+	}); err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}
 
@@ -206,23 +232,23 @@ func (e *Engine) SaveSegments(dir string) error {
 	if err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, manifestName), append(data, '\n'), 0o644); err != nil {
+	// The manifest lands last — its atomic rename is the commit point that
+	// flips the directory from "rebuilding" to "complete".
+	if err := faultfs.Atomic(filepath.Join(dir, manifestName), func(w io.Writer) error {
+		_, werr := w.Write(append(data, '\n'))
+		return werr
+	}); err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}
 	return nil
 }
 
 func writeGob(path string, v any) error {
-	f, err := os.Create(path)
+	err := faultfs.Atomic(path, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(v)
+	})
 	if err != nil {
-		return fmt.Errorf("engine: %w", err)
-	}
-	if err := gob.NewEncoder(f).Encode(v); err != nil {
-		f.Close()
-		return fmt.Errorf("engine: encoding %s: %w", filepath.Base(path), err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("engine: %w", err)
+		return fmt.Errorf("engine: writing %s: %w", filepath.Base(path), err)
 	}
 	return nil
 }
@@ -234,42 +260,130 @@ func readGob(path string, v any) error {
 	}
 	defer f.Close()
 	if err := gob.NewDecoder(f).Decode(v); err != nil {
-		return fmt.Errorf("engine: decoding %s: %w", filepath.Base(path), err)
+		return fmt.Errorf("engine: decoding %s: %w: %v", filepath.Base(path), diskidx.ErrCorrupt, err)
 	}
 	return nil
 }
 
+// ShardState classifies a shard's boot-time health.
+type ShardState int
+
+const (
+	// ShardServing is a shard that opened cleanly from its segment.
+	ShardServing ShardState = iota
+	// ShardQuarantined is a shard whose segment was corrupt or missing and
+	// that was sidelined instead of failing the open. It answers no queries.
+	ShardQuarantined
+	// ShardRebuilt is a shard whose segment was corrupt or missing and that
+	// was rebuilt in memory from the dataset snapshot (OpenOptions.Repair).
+	// It serves exact answers.
+	ShardRebuilt
+)
+
+// String names the state for health endpoints and logs.
+func (s ShardState) String() string {
+	switch s {
+	case ShardServing:
+		return "serving"
+	case ShardQuarantined:
+		return "quarantined"
+	case ShardRebuilt:
+		return "rebuilt"
+	default:
+		return fmt.Sprintf("ShardState(%d)", int(s))
+	}
+}
+
+// ShardHealth reports one shard's boot outcome.
+type ShardHealth struct {
+	Shard int
+	State ShardState
+	Err   string // the error that quarantined or triggered the rebuild; "" when serving
+}
+
+// OpenReport summarizes what a tolerant open found and did.
+type OpenReport struct {
+	Health      []ShardHealth
+	SweptTemps  int // abandoned *.tmp files removed
+	Quarantined int
+	Rebuilt     int
+}
+
+// OpenOptions selects how OpenSegmentsWith treats a shard whose segment is
+// corrupt or missing. The zero value is strict: any shard failure fails the
+// whole open.
+type OpenOptions struct {
+	// Quarantine sidelines a failed shard instead of failing the open. The
+	// engine serves the healthy shards; strict queries return
+	// ErrShardQuarantined, partial queries skip the shard. An open where
+	// every shard fails is still an error.
+	Quarantine bool
+	// Repair rebuilds a failed shard's filter in memory from the dataset
+	// snapshot (the manifest records its configuration) and best-effort
+	// re-saves its segment. Implies tolerance of the failure; the rebuilt
+	// shard serves exact answers.
+	Repair bool
+}
+
 // OpenSegments boots an engine from a segment directory: the dataset is
 // rebuilt from its snapshot, then every shard's postings are memory-mapped.
+// It is strict — see OpenSegmentsWith for quarantine and repair.
 func OpenSegments(dir string) (*Engine, error) {
-	df, err := os.Open(filepath.Join(dir, datasetName))
-	if err != nil {
-		return nil, fmt.Errorf("engine: %w", err)
-	}
-	root, err := model.ReadSnapshot(df)
-	df.Close()
-	if err != nil {
-		return nil, err
-	}
-	return OpenSegmentsAt(dir, root)
+	e, _, err := OpenSegmentsWith(dir, nil, OpenOptions{})
+	return e, err
 }
 
 // OpenSegmentsAt boots an engine from dir over an already-loaded dataset,
 // skipping the snapshot read. The manifest's fingerprint must match root.
 func OpenSegmentsAt(dir string, root *model.Dataset) (*Engine, error) {
+	if root == nil {
+		return nil, errors.New("engine: OpenSegmentsAt requires a dataset")
+	}
+	e, _, err := OpenSegmentsWith(dir, root, OpenOptions{})
+	return e, err
+}
+
+// OpenSegmentsWith boots an engine from dir with explicit failure handling.
+// A nil root reads the dataset snapshot from the directory. Abandoned *.tmp
+// files from an interrupted save are swept first. Per-shard failures (corrupt
+// or missing segment, grids, or filter) are handled per o; failures that
+// compromise every shard — an unreadable manifest, snapshot, or partition
+// file, or a fingerprint mismatch — always fail the open.
+//
+// The report is non-nil whenever the engine is, and its Health covers every
+// shard.
+func OpenSegmentsWith(dir string, root *model.Dataset, o OpenOptions) (*Engine, *OpenReport, error) {
+	rep := &OpenReport{}
+	// A read-only boot must still be able to open the directory, so sweep
+	// failures (e.g. EROFS) are ignored: temps are garbage, not a hazard.
+	rep.SweptTemps, _ = faultfs.SweepTemps(dir)
+
 	m, err := ReadManifest(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if root == nil {
+		df, err := os.Open(filepath.Join(dir, datasetName))
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: %w", err)
+		}
+		root, err = model.ReadSnapshot(df)
+		df.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: reading %s: %w: %v", datasetName, diskidx.ErrCorrupt, err)
+		}
 	}
 	if m.Objects != root.Len() || m.Fingerprint != Fingerprint(root) {
-		return nil, fmt.Errorf("engine: segment directory %s was built from a different dataset", dir)
+		return nil, nil, fmt.Errorf("%w: segment directory %s was built from a different dataset", ErrManifestMismatch, dir)
 	}
 	var parts [][]model.ObjectID
 	if err := readGob(filepath.Join(dir, partsName), &parts); err != nil {
-		return nil, err
+		// The partition file maps every shard's IDs; without it no shard's
+		// contents are known, so even a tolerant open fails.
+		return nil, nil, err
 	}
 	if len(parts) != m.Shards || m.Shards < 1 {
-		return nil, fmt.Errorf("engine: partition file lists %d shards, manifest %d", len(parts), m.Shards)
+		return nil, nil, fmt.Errorf("%w: partition file lists %d shards, manifest %d", diskidx.ErrCorrupt, len(parts), m.Shards)
 	}
 
 	e := &Engine{root: root}
@@ -279,32 +393,158 @@ func OpenSegmentsAt(dir string, root *model.Dataset) (*Engine, error) {
 			e.Close()
 		}
 	}()
+	tolerant := o.Quarantine || o.Repair
 	for i := 0; i < m.Shards; i++ {
 		sub := root
 		if parts[i] != nil {
 			sub, err = root.Subset(parts[i])
 			if err != nil {
-				return nil, fmt.Errorf("engine: shard %d: %w", i, err)
+				return nil, nil, fmt.Errorf("engine: shard %d: %w", i, err)
 			}
 		} else if m.Shards != 1 {
-			return nil, fmt.Errorf("engine: shard %d missing its partition", i)
+			return nil, nil, fmt.Errorf("%w: shard %d missing its partition", diskidx.ErrCorrupt, i)
 		}
-		seg, err := diskidx.OpenMapped(filepath.Join(dir, segName(i)))
-		if err != nil {
-			return nil, fmt.Errorf("engine: shard %d: %w", i, err)
+		f, seg, openErr := openOneShard(dir, i, sub, m)
+		if openErr == nil {
+			e.closers = append(e.closers, seg)
+			e.shards = append(e.shards, &shard{
+				ds: sub, filter: f, globalIDs: parts[i], pool: core.NewSearcherPool(sub, f),
+			})
+			rep.Health = append(rep.Health, ShardHealth{Shard: i, State: ShardServing})
+			continue
 		}
-		e.closers = append(e.closers, seg)
-		if seg.Objects() != sub.Len() {
-			return nil, fmt.Errorf("engine: shard %d segment indexes %d objects, dataset shard has %d", i, seg.Objects(), sub.Len())
+		if !tolerant {
+			return nil, nil, fmt.Errorf("engine: shard %d: %w", i, openErr)
 		}
-		f, err := openShardFilter(sub, m.Filter, seg, dir, i)
-		if err != nil {
-			return nil, fmt.Errorf("engine: shard %d: %w", i, err)
+		if o.Repair {
+			f, rbErr := buildSpecFilter(sub, m.Filter, m.Compressed)
+			if rbErr == nil {
+				note := openErr.Error()
+				// Best-effort resave: a failure (read-only disk, still-bad
+				// media) leaves the rebuilt shard serving from memory.
+				if saveErr := saveShard(dir, i, f, sub.Len()); saveErr != nil {
+					note = fmt.Sprintf("%v (resave failed: %v)", openErr, saveErr)
+				}
+				e.shards = append(e.shards, &shard{
+					ds: sub, filter: f, globalIDs: parts[i],
+					pool: core.NewSearcherPool(sub, f), rebuilt: true,
+				})
+				rep.Health = append(rep.Health, ShardHealth{Shard: i, State: ShardRebuilt, Err: note})
+				rep.Rebuilt++
+				continue
+			}
+			openErr = fmt.Errorf("%w (rebuild failed: %v)", openErr, rbErr)
 		}
-		e.shards = append(e.shards, &shard{ds: sub, filter: f, globalIDs: parts[i], pool: core.NewSearcherPool(sub, f)})
+		if !o.Quarantine {
+			return nil, nil, fmt.Errorf("engine: shard %d: %w", i, openErr)
+		}
+		e.shards = append(e.shards, &shard{ds: sub, globalIDs: parts[i], down: openErr})
+		rep.Health = append(rep.Health, ShardHealth{Shard: i, State: ShardQuarantined, Err: openErr.Error()})
+		rep.Quarantined++
+	}
+	if rep.Quarantined == m.Shards {
+		return nil, nil, fmt.Errorf("engine: all %d shards failed to open: %w", m.Shards, ErrShardQuarantined)
 	}
 	ok = true
-	return e, nil
+	return e, rep, nil
+}
+
+// openOneShard maps shard i's segment and wires its filter. On failure the
+// mapping is released; on success the caller owns closing seg.
+func openOneShard(dir string, i int, sub *model.Dataset, m *Manifest) (f core.Filter, seg *diskidx.Segment, err error) {
+	seg, err = diskidx.OpenMapped(filepath.Join(dir, segName(i)))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		if err != nil {
+			seg.Close()
+		}
+	}()
+	if seg.Objects() != sub.Len() {
+		return nil, nil, fmt.Errorf("%w: segment indexes %d objects, dataset shard has %d", diskidx.ErrCorrupt, seg.Objects(), sub.Len())
+	}
+	f, err = openShardFilter(sub, m.Filter, seg, dir, i)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, seg, nil
+}
+
+// buildSpecFilter reconstructs the filter a manifest describes from scratch
+// over ds — the repair path when a shard's segment is unreadable. When the
+// directory was saved compressed the rebuilt postings are compressed too, so
+// the resaved segment matches the manifest.
+func buildSpecFilter(ds *model.Dataset, spec FilterSpec, compressed bool) (core.Filter, error) {
+	var f core.Filter
+	var err error
+	switch spec.Kind {
+	case "token":
+		f = core.NewTokenFilter(ds)
+	case "grid":
+		f, err = core.NewGridFilter(ds, spec.P)
+	case "hybrid":
+		f, err = core.NewHybridHashFilter(ds, spec.P, spec.Buckets)
+	case "seal":
+		f, err = core.NewHierarchicalFilter(ds, core.HierarchicalConfig{MaxLevel: spec.MaxLevel, GridBudget: spec.GridBudget})
+	default:
+		return nil, fmt.Errorf("unknown filter kind %q", spec.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if compressed {
+		if c, ok := f.(interface{ CompressPostings(invidx.Compression) }); ok {
+			c.CompressPostings(invidx.Compression{})
+		}
+	}
+	return f, nil
+}
+
+// saveShard atomically rewrites shard i's segment (and grids gob for SEAL)
+// from a live filter — the persistence half of a repair.
+func saveShard(dir string, i int, f core.Filter, objects int) error {
+	src, grids, sp, err := segmentSource(f)
+	if err != nil {
+		return err
+	}
+	if err := diskidx.WriteSegment(filepath.Join(dir, segName(i)), src, objects); err != nil {
+		return err
+	}
+	if sp.Kind == "seal" {
+		if err := writeGob(filepath.Join(dir, gridsGobName(i)), grids); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Health reports every shard's state: serving, quarantined, or rebuilt. An
+// in-memory engine reports all shards serving.
+func (e *Engine) Health() []ShardHealth {
+	out := make([]ShardHealth, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = ShardHealth{Shard: i, State: ShardServing}
+		switch {
+		case s.down != nil:
+			out[i].State = ShardQuarantined
+			out[i].Err = s.down.Error()
+		case s.rebuilt:
+			out[i].State = ShardRebuilt
+		}
+	}
+	return out
+}
+
+// Quarantined counts shards sidelined at open time.
+func (e *Engine) Quarantined() int {
+	n := 0
+	for _, s := range e.shards {
+		if s.down != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // openShardFilter wires one shard's mapped segment into the filter the

@@ -11,12 +11,14 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/faultfs"
 	"github.com/sealdb/seal/internal/model"
 	"github.com/sealdb/seal/internal/trace"
 )
@@ -37,6 +39,13 @@ type StreamOptions struct {
 	// decisions, and pruned-shard bounds for the streamed search. Nil costs
 	// nothing.
 	Trace *trace.Rec
+	// Partial selects the shard-failure policy. Strict (the zero value)
+	// fails the stream on the first shard error; Allow drops failed shards,
+	// counting them in Stats().ShardErrors. Stream degradation is weaker
+	// than Search's: matches a shard emitted before timing out have already
+	// been delivered and stay delivered — emitted matches are always
+	// correct, only completeness is lost.
+	Partial Partial
 }
 
 // MatchStream is a live streamed search. Consume with Next until it reports
@@ -111,7 +120,22 @@ func (e *Engine) SearchStream(ctx context.Context, q *model.Query, opts StreamOp
 	}
 
 	tr := opts.Trace
-	var mu sync.Mutex // guards ms.stats while shards finish concurrently
+	part := opts.Partial
+	var mu sync.Mutex // guards ms.stats and failErr while shards finish concurrently
+	var failErr error
+	fail := func(err error) {
+		mu.Lock()
+		if failErr == nil {
+			failErr = err
+		}
+		mu.Unlock()
+		cancel() // trips every shard's stop hook
+	}
+	mergeStats := func(st core.SearchStats) {
+		mu.Lock()
+		ms.stats.Merge(st)
+		mu.Unlock()
+	}
 	go func() {
 		defer close(ms.done)
 		var wg sync.WaitGroup
@@ -125,44 +149,104 @@ func (e *Engine) SearchStream(ctx context.Context, q *model.Query, opts StreamOp
 				if stop() {
 					return
 				}
-				if s.pruned(q.Region, q.TauR, tr, i) {
-					mu.Lock()
-					ms.stats.Merge(core.SearchStats{ShardsPruned: 1})
-					mu.Unlock()
+				if s.down != nil {
+					if part.Allow {
+						mergeStats(core.SearchStats{ShardErrors: 1})
+					} else {
+						fail(downErr(i, s.down))
+					}
 					return
 				}
-				sr := s.pool.Get()
-				fi := s.applyPlan(q, sr, tr, i)
-				st := sr.SearchStream(q, core.StreamOptions{
-					Stop: stop,
-					Emit: func(m core.Match) bool {
-						// Reserve an emission slot before sending: at most
-						// Limit sends ever succeed, and an over-reservation
-						// trips every shard's stop hook.
-						if limit > 0 && emitted.Add(1) > limit {
-							return false
+				if s.pruned(q.Region, q.TauR, tr, i) {
+					mergeStats(core.SearchStats{ShardsPruned: 1})
+					return
+				}
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							// The searcher's state is unknown mid-panic; it is
+							// deliberately not returned to the pool.
+							err = fmt.Errorf("engine: shard %d panicked: %v", i, r)
 						}
-						m.ID = s.global(m.ID)
-						select {
-						case ms.ch <- m:
-							return true
-						case <-sctx.Done():
-							return false
+					}()
+					shardStop := stop
+					timedOut := false
+					var stopAt time.Time
+					if part.ShardTimeout > 0 {
+						// Clock starts before the shard-start hook: a slow
+						// start spends the same budget as a slow search.
+						stopAt = time.Now().Add(part.ShardTimeout)
+						shardStop = func() bool {
+							if time.Now().After(stopAt) {
+								timedOut = true
+								return true
+							}
+							return stop()
 						}
-					},
-				})
-				s.pool.Put(sr)
-				st.Shards = 1
-				e.observePlan(s, q, fi, &st)
-				mu.Lock()
-				ms.stats.Merge(st)
-				mu.Unlock()
+					}
+					faultfs.ShardStart(i)
+					sr := s.pool.Get()
+					fi := s.applyPlan(q, sr, tr, i)
+					st := sr.SearchStream(q, core.StreamOptions{
+						Stop: shardStop,
+						Emit: func(m core.Match) bool {
+							// Reserve an emission slot before sending: at most
+							// Limit sends ever succeed, and an over-reservation
+							// trips every shard's stop hook.
+							if limit > 0 && emitted.Add(1) > limit {
+								return false
+							}
+							m.ID = s.global(m.ID)
+							select {
+							case ms.ch <- m:
+								return true
+							case <-sctx.Done():
+								return false
+							}
+						},
+					})
+					s.pool.Put(sr)
+					// The wall clock, not the poll, decides lateness: a search
+					// with no poll points (zero candidates) can return after
+					// the deadline with timedOut still false.
+					if part.ShardTimeout > 0 && !timedOut && time.Now().After(stopAt) {
+						timedOut = true
+					}
+					if timedOut {
+						if !part.Allow {
+							return fmt.Errorf("%w: shard %d after %v", errShardTimeout, i, part.ShardTimeout)
+						}
+						// The shard's emitted matches stand (they are verified
+						// and already delivered); the incomplete shard counts
+						// as an error, not a completed fan-out, and does not
+						// feed the planner's calibration.
+						st.ShardErrors = 1
+						mergeStats(st)
+						return nil
+					}
+					st.Shards = 1
+					e.observePlan(s, q, fi, &st)
+					mergeStats(st)
+					return nil
+				}()
+				if err != nil {
+					if part.Allow {
+						mergeStats(core.SearchStats{ShardErrors: 1})
+					} else {
+						fail(err)
+					}
+				}
 			}(i, s)
 		}
 		wg.Wait()
-		// Only the parent context's expiry is an error; sctx canceled via
-		// Close means the consumer chose to walk away.
-		ms.err = ctx.Err()
+		// A shard failure (strict mode) outranks the context; otherwise only
+		// the parent context's expiry is an error — sctx canceled via Close
+		// means the consumer chose to walk away.
+		if failErr != nil {
+			ms.err = failErr
+		} else {
+			ms.err = ctx.Err()
+		}
 		close(ms.ch)
 	}()
 	return ms
@@ -184,8 +268,15 @@ func (e *Engine) SearchLimited(ctx context.Context, q *model.Query, limit, paral
 // SearchLimitedTraced is SearchLimited with an optional trace recorder; see
 // SearchTraced for the recording contract.
 func (e *Engine) SearchLimitedTraced(ctx context.Context, q *model.Query, limit, parallelism int, tr *trace.Rec) ([]core.Match, core.SearchStats, error) {
+	return e.SearchLimitedExec(ctx, q, limit, parallelism, tr, Partial{})
+}
+
+// SearchLimitedExec is SearchLimited with a trace recorder and a Partial
+// policy for shard failures; see SearchExec. A dropped shard's matches are
+// missing from the merged prefix — the remaining entries are still exact.
+func (e *Engine) SearchLimitedExec(ctx context.Context, q *model.Query, limit, parallelism int, tr *trace.Rec, part Partial) ([]core.Match, core.SearchStats, error) {
 	if limit <= 0 && parallelism <= 0 {
-		return e.SearchTraced(ctx, q, tr)
+		return e.SearchExec(ctx, q, tr, part)
 	}
 	par := parallelism
 	if par < 1 || par > len(e.shards) {
@@ -199,26 +290,80 @@ func (e *Engine) SearchLimitedTraced(ctx context.Context, q *model.Query, limit,
 	stats := make([]core.SearchStats, len(e.shards))
 	err := ForEach(ctx, len(e.shards), par, func(ctx context.Context, i int) error {
 		s := e.shards[i]
+		if s.down != nil {
+			if !part.Allow {
+				return downErr(i, s.down)
+			}
+			stats[i] = core.SearchStats{ShardErrors: 1}
+			return ctx.Err()
+		}
 		if s.pruned(q.Region, q.TauR, tr, i) {
 			stats[i] = core.SearchStats{ShardsPruned: 1}
 			return ctx.Err()
 		}
-		local := make([]core.Match, 0, localCap)
-		sr := s.pool.Get()
-		fi := s.applyPlan(q, sr, tr, i)
-		stats[i] = sr.SearchStream(q, core.StreamOptions{
-			ByID: true,
-			Stop: func() bool { return ctx.Err() != nil },
-			Emit: func(m core.Match) bool {
-				m.ID = s.global(m.ID)
-				local = append(local, m)
-				return limit <= 0 || len(local) < limit
-			},
-		})
-		stats[i].Shards = 1
-		e.observePlan(s, q, fi, &stats[i])
-		s.pool.Put(sr)
-		lists[i] = local
+		shardErr := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					// The searcher's state is unknown mid-panic; it is
+					// deliberately not returned to the pool.
+					err = fmt.Errorf("engine: shard %d panicked: %v", i, r)
+				}
+			}()
+			shardStop := func() bool { return ctx.Err() != nil }
+			timedOut := false
+			var stopAt time.Time
+			if part.ShardTimeout > 0 {
+				// Clock starts before the shard-start hook: a slow start
+				// spends the same budget as a slow search.
+				stopAt = time.Now().Add(part.ShardTimeout)
+				shardStop = func() bool {
+					if time.Now().After(stopAt) {
+						timedOut = true
+						return true
+					}
+					return ctx.Err() != nil
+				}
+			}
+			faultfs.ShardStart(i)
+			local := make([]core.Match, 0, localCap)
+			sr := s.pool.Get()
+			fi := s.applyPlan(q, sr, tr, i)
+			st := sr.SearchStream(q, core.StreamOptions{
+				ByID: true,
+				Stop: shardStop,
+				Emit: func(m core.Match) bool {
+					m.ID = s.global(m.ID)
+					local = append(local, m)
+					return limit <= 0 || len(local) < limit
+				},
+			})
+			s.pool.Put(sr)
+			// The wall clock, not the poll, decides lateness: a search with
+			// no poll points (zero candidates) can return after the deadline
+			// with timedOut still false.
+			if part.ShardTimeout > 0 && !timedOut && time.Now().After(stopAt) {
+				timedOut = true
+			}
+			if timedOut {
+				// Dropped whole — a partial ordered run cannot contribute to
+				// an exact prefix — and before observePlan, so the planner's
+				// calibration never sees the truncated cost sample.
+				return fmt.Errorf("%w: shard %d after %v", errShardTimeout, i, part.ShardTimeout)
+			}
+			st.Shards = 1
+			e.observePlan(s, q, fi, &st)
+			stats[i] = st
+			lists[i] = local
+			return nil
+		}()
+		if shardErr != nil {
+			var dst core.SearchStats
+			if ferr := dropOrFail(ctx, part, shardErr, &dst); ferr != nil {
+				return ferr
+			}
+			lists[i] = nil
+			stats[i] = dst
+		}
 		return ctx.Err()
 	})
 	if err != nil {

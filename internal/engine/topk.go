@@ -3,11 +3,13 @@ package engine
 import (
 	"container/heap"
 	"context"
+	"fmt"
 	"slices"
 	"sync"
 	"time"
 
 	"github.com/sealdb/seal/internal/core"
+	"github.com/sealdb/seal/internal/faultfs"
 	"github.com/sealdb/seal/internal/geo"
 	"github.com/sealdb/seal/internal/model"
 	"github.com/sealdb/seal/internal/trace"
@@ -41,6 +43,21 @@ func (e *Engine) TopK(ctx context.Context, region geo.Rect, terms []string, opts
 // thresholds loosen), the per-round filter/verify spans from each shard's
 // searcher, pruned-shard bounds against FloorR, and the heap-merge span.
 func (e *Engine) TopKTraced(ctx context.Context, region geo.Rect, terms []string, opts core.TopKOptions, parallelism int, tr *trace.Rec) ([]core.ScoredMatch, core.SearchStats, error) {
+	return e.TopKExec(ctx, region, terms, opts, parallelism, tr, Partial{})
+}
+
+// TopKExec is TopKTraced plus a Partial policy for shard failures; see
+// SearchExec.
+//
+// Degraded ranked answers carry one caveat beyond threshold queries. A shard
+// that was quarantined at open (or panicked before observing results) never
+// fed the shared k-th-best tracker, so the surviving shards' merged ranking
+// is exactly the ranking of an index built without that shard. A shard
+// dropped by ShardTimeout, however, may already have tightened the tracker
+// with results that are then discarded — the survivors may have stopped
+// their descents early against a bound the final merge no longer witnesses,
+// so a timed-out ranked answer is best-effort, not exact-minus-a-shard.
+func (e *Engine) TopKExec(ctx context.Context, region geo.Rect, terms []string, opts core.TopKOptions, parallelism int, tr *trace.Rec, part Partial) ([]core.ScoredMatch, core.SearchStats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, core.SearchStats{}, err
 	}
@@ -66,6 +83,12 @@ func (e *Engine) TopKTraced(ctx context.Context, region geo.Rect, terms []string
 		var st core.SearchStats
 		opts.Stats = &st
 		s := e.shards[0]
+		if s.down != nil {
+			if part.Allow {
+				return nil, core.SearchStats{ShardErrors: 1}, nil
+			}
+			return nil, core.SearchStats{}, downErr(0, s.down)
+		}
 		if s.pruned(region, opts.FloorR, tr, 0) {
 			return nil, core.SearchStats{ShardsPruned: 1}, nil
 		}
@@ -80,14 +103,41 @@ func (e *Engine) TopKTraced(ctx context.Context, region geo.Rect, terms []string
 				return fi
 			}
 		}
-		sr := s.pool.Get()
-		defer s.pool.Put(sr)
-		if tr != nil {
-			// Each descent round's internal search then emits its own
-			// filter/verify spans; Put detaches the tracer.
-			sr.SetTrace(tr, 0)
+		var stopAt time.Time
+		if part.ShardTimeout > 0 {
+			stopAt = time.Now().Add(part.ShardTimeout)
+			opts.Interrupt = deadlineInterrupt(opts.Interrupt, stopAt)
 		}
-		found, err := sr.TopK(region, terms, opts)
+		found, err := func() (found []core.ScoredMatch, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					// The searcher's state is unknown mid-panic; it is
+					// deliberately not returned to the pool.
+					found, err = nil, fmt.Errorf("engine: shard 0 panicked: %v", r)
+				}
+			}()
+			faultfs.ShardStart(0)
+			sr := s.pool.Get()
+			if tr != nil {
+				// Each descent round's internal search then emits its own
+				// filter/verify spans; Put detaches the tracer.
+				sr.SetTrace(tr, 0)
+			}
+			found, err = sr.TopK(region, terms, opts)
+			s.pool.Put(sr)
+			return found, err
+		}()
+		if err == nil && part.ShardTimeout > 0 && time.Now().After(stopAt) {
+			err = fmt.Errorf("%w: shard 0 after %v", errShardTimeout, part.ShardTimeout)
+		}
+		if err != nil {
+			var dst core.SearchStats
+			if ferr := dropOrFail(ctx, part, err, &dst); ferr != nil {
+				return nil, core.SearchStats{}, ferr
+			}
+			// The only shard was dropped: an empty, degraded ranking.
+			return nil, dst, nil
+		}
 		// One shard has nothing to merge across; the span covers the final
 		// bookkeeping so the merge stage still appears in single-shard traces.
 		var mergeStart time.Time
@@ -99,7 +149,7 @@ func (e *Engine) TopKTraced(ctx context.Context, region geo.Rect, terms []string
 		st.Results = len(found)
 		st.Shards = 1
 		traceMerge(tr, mergeStart, len(found))
-		return found, st, err
+		return found, st, nil
 	}
 
 	par := parallelism
@@ -111,12 +161,24 @@ func (e *Engine) TopKTraced(ctx context.Context, region geo.Rect, terms []string
 	stats := make([]core.SearchStats, len(e.shards))
 	err := ForEach(ctx, len(e.shards), par, func(ctx context.Context, i int) error {
 		s := e.shards[i]
+		if s.down != nil {
+			if !part.Allow {
+				return downErr(i, s.down)
+			}
+			stats[i] = core.SearchStats{ShardErrors: 1}
+			return nil
+		}
 		if s.pruned(region, opts.FloorR, tr, i) {
 			stats[i] = core.SearchStats{ShardsPruned: 1}
 			return nil
 		}
 		o := opts
 		o.Interrupt = ctx.Err
+		var stopAt time.Time
+		if part.ShardTimeout > 0 {
+			stopAt = time.Now().Add(part.ShardTimeout)
+			o.Interrupt = deadlineInterrupt(ctx.Err, stopAt)
+		}
 		o.Observe = func(complete []core.ScoredMatch) { tracker.observe(i, complete) }
 		o.StopBelow = tracker.kth
 		o.Stats = &stats[i]
@@ -127,14 +189,36 @@ func (e *Engine) TopKTraced(ctx context.Context, region geo.Rect, terms []string
 				return fi
 			}
 		}
-		sr := s.pool.Get()
-		if tr != nil {
-			sr.SetTrace(tr, i)
+		found, err := func() (found []core.ScoredMatch, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					// The searcher's state is unknown mid-panic; it is
+					// deliberately not returned to the pool.
+					found, err = nil, fmt.Errorf("engine: shard %d panicked: %v", i, r)
+				}
+			}()
+			faultfs.ShardStart(i)
+			sr := s.pool.Get()
+			if tr != nil {
+				sr.SetTrace(tr, i)
+			}
+			found, err = sr.TopK(region, terms, o)
+			s.pool.Put(sr)
+			return found, err
+		}()
+		if err == nil && part.ShardTimeout > 0 && time.Now().After(stopAt) {
+			err = fmt.Errorf("%w: shard %d after %v", errShardTimeout, i, part.ShardTimeout)
 		}
-		found, err := sr.TopK(region, terms, o)
-		s.pool.Put(sr)
 		if err != nil {
-			return err
+			dst := core.SearchStats{}
+			if ferr := dropOrFail(ctx, part, err, &dst); ferr != nil {
+				return ferr
+			}
+			// Discard the dropped shard's partial stats: its descent did not
+			// complete and its results are not in the merge.
+			stats[i] = dst
+			lists[i] = nil
+			return nil
 		}
 		stats[i].Shards = 1
 		for j := range found {

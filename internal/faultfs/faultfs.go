@@ -1,0 +1,223 @@
+// Package faultfs is the thin filesystem seam the storage layer writes
+// through, plus the fault-injection hooks that make crash-and-recover,
+// corrupt-read, and slow/failing-shard scenarios deterministically testable.
+//
+// Production code calls the package-level operations (Create, Rename,
+// SyncDir, Atomic, ...), which default to the real OS calls with zero
+// overhead beyond one atomic pointer load. Tests Install an Injector that
+// counts every mutating operation and can fail the nth one (optionally
+// tearing the write that hits it), fail fsyncs, flip a bit on a read, or
+// delay / panic a specific shard's search. Once an injector trips it stays
+// tripped — every later mutating operation fails too — so an interrupted
+// save behaves like a process crash: nothing after the failure point
+// reaches the disk.
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// TmpSuffix marks in-flight atomic writes. Recovery sweeps abandon any file
+// carrying it: a temp is by definition uncommitted.
+const TmpSuffix = ".tmp"
+
+// File is the writable-file surface the storage layer needs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// active is the installed injector; nil means the passthrough OS behavior.
+var active atomic.Pointer[Injector]
+
+// Install routes subsequent faultfs operations through inj. Tests must
+// Uninstall (typically via t.Cleanup) before asserting recovery behavior:
+// a reboot is a fresh process, not one still living inside the fault.
+func Install(inj *Injector) { active.Store(inj) }
+
+// Uninstall restores the passthrough OS behavior.
+func Uninstall() { active.Store(nil) }
+
+// Create opens path for writing, truncating any previous content.
+func Create(path string) (File, error) {
+	inj := active.Load()
+	if inj == nil {
+		return os.Create(path)
+	}
+	return inj.create(path)
+}
+
+// Rename atomically replaces newpath with oldpath.
+func Rename(oldpath, newpath string) error {
+	if inj := active.Load(); inj != nil {
+		if err := inj.step(OpRename); err != nil {
+			return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+		}
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// Remove deletes path; a missing path is not an error.
+func Remove(path string) error {
+	if inj := active.Load(); inj != nil {
+		if err := inj.step(OpRemove); err != nil {
+			return &os.PathError{Op: "remove", Path: path, Err: err}
+		}
+	}
+	err := os.Remove(path)
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// MkdirAll creates path and any missing parents.
+func MkdirAll(path string, perm os.FileMode) error {
+	if inj := active.Load(); inj != nil {
+		if err := inj.step(OpMkdir); err != nil {
+			return &os.PathError{Op: "mkdir", Path: path, Err: err}
+		}
+	}
+	return os.MkdirAll(path, perm)
+}
+
+// SyncDir fsyncs a directory, making previously renamed entries durable.
+// Filesystems that cannot sync directories (some CI tmpfs mounts) are
+// forgiven: the rename itself already happened, and the sync is a
+// durability upgrade, not a correctness requirement for a live process.
+func SyncDir(dir string) error {
+	if inj := active.Load(); inj != nil {
+		if err := inj.step(OpSyncDir); err != nil {
+			return &os.PathError{Op: "syncdir", Path: dir, Err: err}
+		}
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !ignorableSyncErr(err) {
+		return err
+	}
+	return nil
+}
+
+// CorruptRead hands a just-read (or mapped) file's bytes to the injector,
+// which may return a bit-flipped copy to simulate media corruption. The
+// common nil-injector case returns data untouched.
+func CorruptRead(path string, data []byte) []byte {
+	inj := active.Load()
+	if inj == nil {
+		return data
+	}
+	return inj.corrupt(path, data)
+}
+
+// ShardStart is the engine-side hook: called at the start of one shard's
+// search so an injector can delay it (simulating a slow shard) or panic
+// (simulating a shard-local bug). A nil injector costs one atomic load.
+func ShardStart(shard int) {
+	if inj := active.Load(); inj != nil {
+		inj.shardStart(shard)
+	}
+}
+
+// Atomic writes path with crash-safe semantics: the content goes to
+// path+TmpSuffix, is fsynced, and only then renamed over path, so a crash at
+// any point leaves either the old file or an abandoned temp — never a torn
+// path. The parent directory is synced after the rename to make it durable.
+// fill receives the temp file's writer and produces the content.
+func Atomic(path string, fill func(w io.Writer) error) error {
+	tmp := path + TmpSuffix
+	f, err := Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SweepTemps removes abandoned TmpSuffix files from dir, returning how many
+// were swept. A missing dir sweeps zero files.
+func SweepTemps(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != TmpSuffix {
+			continue
+		}
+		if err := Remove(filepath.Join(dir, e.Name())); err != nil {
+			return n, fmt.Errorf("faultfs: sweeping %s: %w", e.Name(), err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// osFile wraps a real file so an installed injector sees its writes, syncs
+// and closes.
+type osFile struct {
+	f   *os.File
+	inj *Injector
+}
+
+func (o *osFile) Write(p []byte) (int, error) {
+	if err := o.inj.step(OpWrite); err != nil {
+		if o.inj.tornWrites() && len(p) > 0 {
+			// A torn write commits a prefix before the "crash": exactly the
+			// state a power cut mid-write leaves behind.
+			n, _ := o.f.Write(p[:len(p)/2])
+			return n, err
+		}
+		return 0, err
+	}
+	return o.f.Write(p)
+}
+
+func (o *osFile) Sync() error {
+	if err := o.inj.step(OpSync); err != nil {
+		return err
+	}
+	if err := o.f.Sync(); err != nil && !ignorableSyncErr(err) {
+		return err
+	}
+	return nil
+}
+
+func (o *osFile) Close() error {
+	// Close always releases the descriptor — a tripped injector simulates
+	// lost writes, not leaked fds in the test process.
+	if err := o.inj.step(OpClose); err != nil {
+		o.f.Close()
+		return err
+	}
+	return o.f.Close()
+}

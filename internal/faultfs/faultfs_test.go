@@ -1,0 +1,221 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAtomicCommit: a successful Atomic leaves exactly the target file with
+// the full content and no abandoned temp.
+func TestAtomicCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := Atomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "payload" {
+		t.Fatalf("content %q", data)
+	}
+	if _, err := os.Stat(path + TmpSuffix); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived the commit: %v", err)
+	}
+}
+
+// TestAtomicCrashPreservesOldContent: whichever operation the injector fails,
+// the target file either keeps its previous content intact or (rename
+// succeeded) holds the complete new content — never a torn mix.
+func TestAtomicCrashPreservesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Learn how many mutating operations one Atomic costs.
+	probe := &Injector{}
+	Install(probe)
+	if err := Atomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("newcontent"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	steps := probe.Ops()
+	Uninstall()
+	if steps < 4 { // create, write, sync, close, rename, syncdir
+		t.Fatalf("suspiciously few ops per Atomic: %d", steps)
+	}
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for k := 1; k <= steps; k++ {
+		inj := (&Injector{}).FailAt(k)
+		Install(inj)
+		err := Atomic(path, func(w io.Writer) error {
+			_, werr := w.Write([]byte("newcontent"))
+			return werr
+		})
+		Uninstall()
+		if !inj.Tripped() {
+			t.Fatalf("k=%d: fault never fired", k)
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("k=%d: target unreadable: %v", k, rerr)
+		}
+		switch string(data) {
+		case "old":
+			if err == nil {
+				t.Fatalf("k=%d: Atomic reported success but old content survived", k)
+			}
+		case "newcontent":
+			// The rename landed before the injected failure (e.g. the
+			// directory sync failed): the new content is complete.
+		default:
+			t.Fatalf("k=%d: torn content %q", k, data)
+		}
+		// Reset for the next step; a leftover temp is the sweeper's job.
+		os.Remove(path + TmpSuffix)
+		if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestInjectorStickyTrip: after the armed operation fails, every subsequent
+// mutating operation fails too — an interrupted save cannot half-continue.
+func TestInjectorStickyTrip(t *testing.T) {
+	dir := t.TempDir()
+	inj := (&Injector{}).FailAt(1)
+	Install(inj)
+	defer Uninstall()
+
+	if _, err := Create(filepath.Join(dir, "a")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first op error = %v, want ErrInjected", err)
+	}
+	if !inj.Tripped() {
+		t.Fatal("injector did not trip")
+	}
+	if _, err := Create(filepath.Join(dir, "b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-trip create error = %v, want ErrInjected", err)
+	}
+	if err := Rename(filepath.Join(dir, "a"), filepath.Join(dir, "c")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-trip rename error = %v, want ErrInjected", err)
+	}
+}
+
+// TestFailOpsRestriction: with FailOps the counter only sees the selected op
+// kinds, so a fault can target e.g. exactly the nth rename.
+func TestFailOpsRestriction(t *testing.T) {
+	dir := t.TempDir()
+	inj := (&Injector{}).FailAt(1).FailOps(OpRename)
+	Install(inj)
+	defer Uninstall()
+
+	f, err := Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatalf("create should pass through: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write should pass through: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close should pass through: %v", err)
+	}
+	if err := Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename error = %v, want ErrInjected", err)
+	}
+	// Tripped: now everything fails, including the previously exempt ops.
+	if _, err := Create(filepath.Join(dir, "c")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-trip create error = %v, want ErrInjected", err)
+	}
+}
+
+// TestTornWrite: the failing write commits half its payload — the on-disk
+// prefix a power cut mid-write leaves.
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := (&Injector{}).FailAt(2).TornWrites() // op1 = create, op2 = write
+	Install(inj)
+	defer Uninstall()
+
+	f, err := Create(filepath.Join(dir, "torn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	if _, err := f.Write(payload); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write error = %v, want ErrInjected", err)
+	}
+	f.Close()
+	Uninstall()
+	data, err := os.ReadFile(filepath.Join(dir, "torn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "01234" {
+		t.Fatalf("torn file holds %q, want the half-written prefix", data)
+	}
+}
+
+// TestSweepTemps removes only abandoned temps, and tolerates a missing dir.
+func TestSweepTemps(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a.tmp", "b.seg.tmp", "keep.seg"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := SweepTemps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("swept %d temps, want 2", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "keep.seg")); err != nil {
+		t.Fatalf("sweep removed a committed file: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a.tmp")); !os.IsNotExist(err) {
+		t.Fatal("temp survived the sweep")
+	}
+	if n, err := SweepTemps(filepath.Join(dir, "absent")); err != nil || n != 0 {
+		t.Fatalf("missing dir: n=%d err=%v", n, err)
+	}
+}
+
+// TestCorruptReadFlipsOneBit: the configured read corruption flips exactly
+// the requested bit in a copy, leaving the caller's (possibly mmap-backed)
+// original untouched.
+func TestCorruptReadFlipsOneBit(t *testing.T) {
+	inj := (&Injector{}).FlipBit("victim.seg", 3)
+	Install(inj)
+	defer Uninstall()
+
+	orig := []byte{0x00, 0xFF}
+	got := CorruptRead("/any/dir/victim.seg", orig)
+	if &got[0] == &orig[0] {
+		t.Fatal("corruption mutated the caller's buffer instead of a copy")
+	}
+	if got[0] != 0x08 || got[1] != 0xFF {
+		t.Fatalf("corrupted bytes % x, want bit 3 of byte 0 flipped", got)
+	}
+	if orig[0] != 0x00 {
+		t.Fatal("original buffer mutated")
+	}
+	// Files with other base names pass through by identity.
+	same := CorruptRead("/any/dir/other.seg", orig)
+	if &same[0] != &orig[0] {
+		t.Fatal("unrelated file was copied")
+	}
+}

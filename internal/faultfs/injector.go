@@ -1,0 +1,215 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrInjected marks a failure manufactured by an Injector; tests assert on
+// it to distinguish injected faults from genuine I/O errors.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Op classifies one mutating filesystem operation for counting and
+// selective failure.
+type Op int
+
+const (
+	OpCreate Op = iota
+	OpWrite
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+	OpMkdir
+	OpSyncDir
+	opCount
+)
+
+// Injector manufactures filesystem and shard faults. Configure it before
+// Install; the mutating-op counter and trip state are safe for concurrent
+// use. The zero value injects nothing and merely counts.
+type Injector struct {
+	mu      sync.Mutex
+	ops     int  // mutating operations observed so far
+	failAt  int  // 1-based op index to fail; 0 never fails
+	tripped bool // a tripped injector fails everything after the fault
+	torn    bool
+	only    [opCount]bool // restrict failures to these ops; unset = all
+	limited bool
+
+	flips      map[string]int // path base name -> bit index to flip on read
+	shardDelay map[int]time.Duration
+	shardPanic map[int]string
+}
+
+// FailAt arms the injector to fail the nth (1-based) mutating operation and
+// every operation after it — the moment of the simulated crash.
+func (inj *Injector) FailAt(n int) *Injector {
+	inj.mu.Lock()
+	inj.failAt = n
+	inj.mu.Unlock()
+	return inj
+}
+
+// FailOps restricts FailAt's counting and failing to the given op kinds;
+// operations of other kinds pass through uncounted. Without it every
+// mutating operation counts.
+func (inj *Injector) FailOps(ops ...Op) *Injector {
+	inj.mu.Lock()
+	inj.limited = true
+	for _, op := range ops {
+		inj.only[op] = true
+	}
+	inj.mu.Unlock()
+	return inj
+}
+
+// TornWrites makes the failing write commit half its payload first, leaving
+// the torn prefix a real power cut would.
+func (inj *Injector) TornWrites() *Injector {
+	inj.mu.Lock()
+	inj.torn = true
+	inj.mu.Unlock()
+	return inj
+}
+
+// FlipBit corrupts reads of the file with base name base (any directory) by
+// flipping the given bit of its content.
+func (inj *Injector) FlipBit(base string, bit int) *Injector {
+	inj.mu.Lock()
+	if inj.flips == nil {
+		inj.flips = make(map[string]int)
+	}
+	inj.flips[base] = bit
+	inj.mu.Unlock()
+	return inj
+}
+
+// DelayShard sleeps d at the start of shard i's searches (a slow shard).
+func (inj *Injector) DelayShard(i int, d time.Duration) *Injector {
+	inj.mu.Lock()
+	if inj.shardDelay == nil {
+		inj.shardDelay = make(map[int]time.Duration)
+	}
+	inj.shardDelay[i] = d
+	inj.mu.Unlock()
+	return inj
+}
+
+// PanicShard panics with msg at the start of shard i's searches.
+func (inj *Injector) PanicShard(i int, msg string) *Injector {
+	inj.mu.Lock()
+	if inj.shardPanic == nil {
+		inj.shardPanic = make(map[int]string)
+	}
+	inj.shardPanic[i] = msg
+	inj.mu.Unlock()
+	return inj
+}
+
+// Ops reports how many mutating operations the injector has observed —
+// run a save once with an unarmed injector to learn its step count, then
+// replay with FailAt(k) for every k.
+func (inj *Injector) Ops() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.ops
+}
+
+// Tripped reports whether the armed fault has fired.
+func (inj *Injector) Tripped() bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.tripped
+}
+
+// step counts one mutating operation and decides whether it fails.
+func (inj *Injector) step(op Op) error {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.limited && !inj.only[op] {
+		if inj.tripped {
+			return ErrInjected
+		}
+		return nil
+	}
+	if inj.tripped {
+		return ErrInjected
+	}
+	inj.ops++
+	if inj.failAt > 0 && inj.ops >= inj.failAt {
+		inj.tripped = true
+		return ErrInjected
+	}
+	return nil
+}
+
+// tornWrites reports whether failing writes should commit a prefix.
+func (inj *Injector) tornWrites() bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.torn
+}
+
+// create is Create's injector path: count the open, wrap the file so its
+// writes, syncs and closes are counted too.
+func (inj *Injector) create(path string) (File, error) {
+	if err := inj.step(OpCreate); err != nil {
+		return nil, &os.PathError{Op: "create", Path: path, Err: err}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{f: f, inj: inj}, nil
+}
+
+// corrupt applies a configured bit flip to data, copying first — the input
+// may alias a read-only mmap.
+func (inj *Injector) corrupt(path string, data []byte) []byte {
+	inj.mu.Lock()
+	bit, ok := inj.flips[baseName(path)]
+	inj.mu.Unlock()
+	if !ok || len(data) == 0 {
+		return data
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	bit %= len(out) * 8
+	out[bit/8] ^= 1 << (bit % 8)
+	return out
+}
+
+func (inj *Injector) shardStart(shard int) {
+	inj.mu.Lock()
+	d, delayed := inj.shardDelay[shard]
+	msg, panics := inj.shardPanic[shard]
+	inj.mu.Unlock()
+	if delayed {
+		time.Sleep(d)
+	}
+	if panics {
+		panic(msg)
+	}
+}
+
+func baseName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// ignorableSyncErr reports fsync errors that mean "this file/filesystem
+// does not support syncing" rather than "your data is gone" — EINVAL and
+// ENOTSUP show up for directories on some filesystems and for special
+// files; treating them as fatal would make crash-safe saves fail on
+// perfectly healthy setups.
+func ignorableSyncErr(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
+}

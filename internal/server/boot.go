@@ -20,11 +20,17 @@ import (
 // BootInfo records how the index came up, for logs and /v1/status.
 type BootInfo struct {
 	// Source is "segments" (mmap boot), "built" (in-memory build, no
-	// segment dir), or "built+saved" (built and persisted for next boot).
+	// segment dir), "built+saved" (built and persisted for next boot), or
+	// "rebuilt" (the segment directory was damaged beyond what Build
+	// tolerates; it was cleared and re-created from the data snapshot).
 	Source        string
 	BootTime      time.Duration
 	WarmupQueries int
 	WarmupTime    time.Duration
+	// Quarantined / Rebuilt count shards that failed to open cleanly from
+	// their segments (segment-only boots; a snapshot boot rebuilds instead).
+	Quarantined int
+	Rebuilt     int
 }
 
 // Logf is the boot logger's shape (log.Printf-compatible); nil silences.
@@ -48,11 +54,28 @@ func Boot(cfg Config, logf Logf) (*seal.Index, BootInfo, error) {
 	start := time.Now()
 	if cfg.DataPath == "" {
 		logf.printf("booting from sealed segments at %s", cfg.SegmentDir)
+		// Open quarantines a damaged shard instead of failing: with no data
+		// snapshot to rebuild from, serving the surviving shards (and saying
+		// so in /readyz) beats refusing to boot.
 		ix, err := seal.Open(cfg.SegmentDir)
 		if err != nil {
 			return nil, BootInfo{}, err
 		}
-		return ix, BootInfo{Source: "segments", BootTime: time.Since(start)}, nil
+		info := BootInfo{Source: "segments", BootTime: time.Since(start)}
+		for _, h := range ix.Health() {
+			switch h.State {
+			case seal.ShardQuarantined:
+				info.Quarantined++
+				logf.printf("shard %d quarantined: %s", h.Shard, h.Err)
+			case seal.ShardRebuilt:
+				info.Rebuilt++
+				logf.printf("shard %d rebuilt from the directory snapshot: %s", h.Shard, h.Err)
+			}
+		}
+		if info.Quarantined > 0 {
+			logf.printf("boot degraded: %d/%d shards quarantined", info.Quarantined, ix.Stats().Shards)
+		}
+		return ix, info, nil
 	}
 
 	f, err := os.Open(cfg.DataPath)
@@ -89,12 +112,28 @@ func Boot(cfg Config, logf Logf) (*seal.Index, BootInfo, error) {
 	if cfg.SegmentDir != "" {
 		opts = append(opts, seal.WithSegmentDir(cfg.SegmentDir))
 	}
-	ix, err := seal.Build(SnapshotObjects(ds), opts...)
+	objects := SnapshotObjects(ds)
+	ix, err := seal.Build(objects, opts...)
+	rebuilt := false
+	if err != nil && cfg.SegmentDir != "" {
+		// With the data snapshot in hand the segment directory is a cache,
+		// not the source of truth: a directory damaged beyond what Build's
+		// stale-fallthrough tolerates (e.g. a write error against leftover
+		// state) is cleared and re-created rather than failing the boot.
+		logf.printf("segment directory %s unusable (%v); clearing and rebuilding", cfg.SegmentDir, err)
+		if rmErr := os.RemoveAll(cfg.SegmentDir); rmErr != nil {
+			return nil, BootInfo{}, fmt.Errorf("server: clearing damaged segment dir: %w (after %v)", rmErr, err)
+		}
+		ix, err = seal.Build(objects, opts...)
+		rebuilt = true
+	}
 	if err != nil {
 		return nil, BootInfo{}, err
 	}
 	info := BootInfo{BootTime: time.Since(start)}
 	switch {
+	case rebuilt:
+		info.Source = "rebuilt"
 	case ix.Stats().Mapped:
 		info.Source = "segments"
 	case cfg.SegmentDir != "":
@@ -166,7 +205,10 @@ func (s *Server) Warmup(n int) (time.Duration, error) {
 		}
 		req := seal.Request{Region: region, Tokens: tokens, TauR: 0.5, TauT: 0.5}
 		qstart := time.Now()
-		res, err := ix.Query(context.Background(), req, seal.CollectStats())
+		// AllowPartial unconditionally: warmup exists to fault pages in, and
+		// on a degraded boot the healthy shards' pages still deserve warming.
+		// Real traffic keeps the configured strictness.
+		res, err := ix.Query(context.Background(), req, seal.CollectStats(), seal.AllowPartial())
 		if err != nil {
 			return time.Since(start), fmt.Errorf("server: warmup query %d: %w", i, err)
 		}

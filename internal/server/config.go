@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	seal "github.com/sealdb/seal"
 )
 
 // Config sizes one serving daemon. The zero value is not useful; start from
@@ -61,6 +63,16 @@ type Config struct {
 	// counted, flagged in the query log, and (rate-limited) logged with their
 	// full execution trace. 0 disables slow-query telemetry.
 	SlowQuery time.Duration `json:"-"`
+	// AllowPartial serves degraded answers: a query that loses a shard —
+	// quarantined at boot, erroring, panicking, or (with ShardTimeout)
+	// timing out — returns the remaining shards' exact matches with HTTP
+	// 206 and "degraded": true instead of failing. Off by default: a strict
+	// daemon never passes a partial answer off as a complete one.
+	AllowPartial bool `json:"allow_partial"`
+	// ShardTimeout bounds one shard's search per query; a shard exceeding
+	// it is dropped from the merge like a failed shard. Requires
+	// AllowPartial. 0 disables the per-shard bound.
+	ShardTimeout time.Duration `json:"-"`
 	// Pprof mounts Go's /debug/pprof/* profiling endpoints on the serving
 	// mux. Off by default: profiles expose internals and cost CPU to sample.
 	Pprof bool `json:"pprof"`
@@ -85,6 +97,7 @@ type fileConfig struct {
 	RequestTimeout string `json:"request_timeout"`
 	ShutdownGrace  string `json:"shutdown_grace"`
 	SlowQuery      string `json:"slow_query"`
+	ShardTimeout   string `json:"shard_timeout"`
 }
 
 // LoadConfig reads a JSON config file over base (typically DefaultConfig):
@@ -123,6 +136,13 @@ func LoadConfig(path string, base Config) (Config, error) {
 		}
 		cfg.SlowQuery = d
 	}
+	if fc.ShardTimeout != "" {
+		d, err := time.ParseDuration(fc.ShardTimeout)
+		if err != nil {
+			return base, fmt.Errorf("server: %s: shard_timeout: %w", path, err)
+		}
+		cfg.ShardTimeout = d
+	}
 	if err := cfg.Validate(); err != nil {
 		return base, err
 	}
@@ -159,7 +179,26 @@ func (c Config) Validate() error {
 	if c.SlowQuery < 0 {
 		return fmt.Errorf("server: negative slow-query threshold %v", c.SlowQuery)
 	}
+	if c.ShardTimeout < 0 {
+		return fmt.Errorf("server: negative shard timeout %v", c.ShardTimeout)
+	}
+	if c.ShardTimeout > 0 && !c.AllowPartial {
+		return fmt.Errorf("server: shard_timeout requires allow_partial (a strict query has nothing to drop a timed-out shard to)")
+	}
 	return nil
+}
+
+// queryOpts returns the degraded-mode query options the configuration asks
+// for, appended to every served query.
+func (c Config) queryOpts() []seal.QueryOption {
+	if !c.AllowPartial {
+		return nil
+	}
+	opts := []seal.QueryOption{seal.AllowPartial()}
+	if c.ShardTimeout > 0 {
+		opts = append(opts, seal.ShardTimeout(c.ShardTimeout))
+	}
+	return opts
 }
 
 // maxBatch resolves the batch cap.

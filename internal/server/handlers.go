@@ -95,6 +95,7 @@ type wireStats struct {
 	VerifyMS        float64        `json:"verify_ms"`
 	ShardFanout     int            `json:"shard_fanout"`
 	ShardsPruned    int            `json:"shards_pruned,omitempty"`
+	ShardErrors     int            `json:"shard_errors,omitempty"`
 	PlanChoices     map[string]int `json:"plan_choices,omitempty"`
 }
 
@@ -111,6 +112,7 @@ func statsWire(st *seal.Stats) *wireStats {
 		VerifyMS:        float64(st.VerifyTime.Microseconds()) / 1e3,
 		ShardFanout:     st.ShardFanout,
 		ShardsPruned:    st.ShardsPruned,
+		ShardErrors:     st.ShardErrors,
 		PlanChoices:     st.PlanChoices,
 	}
 }
@@ -123,13 +125,18 @@ func matchesWire(ms []seal.Match) []wireMatch {
 	return out
 }
 
-// wireResults is one query's JSON answer.
+// wireResults is one query's JSON answer. Degraded marks an answer that lost
+// at least one shard (only possible on an allow-partial daemon): the matches
+// present are exact, the missing shards' objects are absent. A degraded
+// single-query answer travels with HTTP 206 so clients and proxies can tell
+// without parsing the body.
 type wireResults struct {
-	Matches []wireMatch `json:"matches"`
-	Count   int         `json:"count"`
-	Stats   *wireStats  `json:"stats,omitempty"`
-	Trace   *wireTrace  `json:"trace,omitempty"`
-	TookMS  float64     `json:"took_ms"`
+	Matches  []wireMatch `json:"matches"`
+	Count    int         `json:"count"`
+	Degraded bool        `json:"degraded,omitempty"`
+	Stats    *wireStats  `json:"stats,omitempty"`
+	Trace    *wireTrace  `json:"trace,omitempty"`
+	TookMS   float64     `json:"took_ms"`
 }
 
 // handleQuery answers POST /v1/query. Every query records a trace — the
@@ -149,6 +156,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts = append(opts, seal.CollectStats(), seal.CollectTrace())
+	opts = append(opts, s.cfg.queryOpts()...)
 	res, err := s.ix.Query(r.Context(), req, opts...)
 	if err != nil {
 		s.writeError(w, r, "query", queryErrorCode(err), err, start)
@@ -157,16 +165,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.metrics.RecordQuery(res.Stats, len(res.Matches))
 	s.metrics.RecordStages(res.Trace)
 	out := wireResults{
-		Matches: matchesWire(res.Matches),
-		Count:   len(res.Matches),
-		Stats:   statsWire(res.Stats),
-		TookMS:  msSince(start),
+		Matches:  matchesWire(res.Matches),
+		Count:    len(res.Matches),
+		Degraded: res.Degraded,
+		Stats:    statsWire(res.Stats),
+		TookMS:   msSince(start),
 	}
 	if r.URL.Query().Get("trace") == "1" {
 		out.Trace = traceWire(res.Trace)
 	}
-	writeJSON(w, http.StatusOK, out)
-	s.logRequest(r, "query", http.StatusOK, start, 1, len(res.Matches), res.Stats, res.Trace, nil)
+	code := http.StatusOK
+	if res.Degraded {
+		// 206: the answer is exact for the shards that responded but a shard
+		// was dropped, so completeness is not guaranteed.
+		code = http.StatusPartialContent
+	}
+	writeJSON(w, code, out)
+	s.logRequest(r, "query", code, start, 1, len(res.Matches), res.Stats, res.Trace, nil)
 }
 
 // wireBatch is the POST /v1/query/batch body.
@@ -231,7 +246,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				out[i] = wireBatchResult{Error: err.Error()}
 				continue
 			}
-			res, err := s.ix.Query(r.Context(), req, append(opts, seal.CollectStats())...)
+			opts = append(opts, seal.CollectStats())
+			opts = append(opts, s.cfg.queryOpts()...)
+			res, err := s.ix.Query(r.Context(), req, opts...)
 			if err != nil {
 				out[i] = wireBatchResult{Error: err.Error()}
 				continue
@@ -241,11 +258,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			matches += len(res.Matches)
 			out[i] = wireBatchResult{Results: &wireResults{
 				Matches: matchesWire(res.Matches), Count: len(res.Matches),
-				Stats: statsWire(res.Stats), TookMS: msSince(qstart),
+				Degraded: res.Degraded,
+				Stats:    statsWire(res.Stats), TookMS: msSince(qstart),
 			}}
 		}
 	} else {
-		for i, br := range s.ix.QueryBatch(r.Context(), reqs, seal.CollectStats()) {
+		bopts := append([]seal.QueryOption{seal.CollectStats()}, s.cfg.queryOpts()...)
+		for i, br := range s.ix.QueryBatch(r.Context(), reqs, bopts...) {
 			if br.Err != nil {
 				out[i] = wireBatchResult{Error: br.Err.Error()}
 				continue
@@ -255,7 +274,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			matches += len(br.Results.Matches)
 			out[i] = wireBatchResult{Results: &wireResults{
 				Matches: matchesWire(br.Results.Matches), Count: len(br.Results.Matches),
-				Stats: statsWire(br.Results.Stats),
+				Degraded: br.Results.Degraded,
+				Stats:    statsWire(br.Results.Stats),
 			}}
 		}
 	}
@@ -283,6 +303,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	var st seal.Stats
 	var tr seal.Trace
 	opts = append(opts, seal.StatsInto(&st), seal.TraceInto(&tr))
+	opts = append(opts, s.cfg.queryOpts()...)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
@@ -320,6 +341,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		// Mid-stream failure: the status is already committed, so the error
 		// travels as a terminal NDJSON record.
 		_ = enc.Encode(map[string]string{"error": streamErr.Error()})
+	} else if st.ShardErrors > 0 {
+		// The stream finished but dropped a shard (allow-partial daemon): the
+		// matches already sent stand, completeness does not. The status line
+		// is long committed, so the degradation travels as a terminal record.
+		_ = enc.Encode(map[string]any{"degraded": true, "shard_errors": st.ShardErrors})
 	}
 	s.logRequest(r, "stream", statusCode(w), start, 1, n, &st, &tr, streamErr)
 }
@@ -384,6 +410,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleReadyz reports readiness: the index is open (and warmed up) and the
 // daemon is not draining. Load balancers should route on this, not healthz.
+// A daemon serving with quarantined shards is still ready — degraded answers
+// beat no answers — but each damaged shard gets its own line so probes (and
+// humans) see exactly what is missing.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if !s.ready.Load() {
@@ -391,7 +420,23 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "not ready\n")
 		return
 	}
-	io.WriteString(w, "ready\n")
+	health := s.ix.Health()
+	degraded := 0
+	for _, h := range health {
+		if h.State == seal.ShardQuarantined {
+			degraded++
+		}
+	}
+	if degraded > 0 {
+		fmt.Fprintf(w, "ready (degraded: %d/%d shards quarantined)\n", degraded, len(health))
+	} else {
+		io.WriteString(w, "ready\n")
+	}
+	for _, h := range health {
+		if h.State != seal.ShardServing {
+			fmt.Fprintf(w, "shard %d: %s: %s\n", h.Shard, h.State, h.Err)
+		}
+	}
 }
 
 // handleMetrics serves GET /metrics (and its /varz alias) in Prometheus
@@ -424,7 +469,15 @@ type statusResponse struct {
 		IndexBytes int64  `json:"index_bytes"`
 		Mapped     bool   `json:"mapped"`
 		Compressed bool   `json:"compressed"`
+		// Quarantined counts shards sidelined at boot; on a strict daemon
+		// every query fails while it is nonzero, on an allow-partial daemon
+		// queries answer degraded.
+		Quarantined int `json:"quarantined,omitempty"`
+		Rebuilt     int `json:"rebuilt,omitempty"`
 	} `json:"index"`
+
+	// Shards is the per-shard boot health: one entry per spatial shard.
+	Shards []shardStatus `json:"shards,omitempty"`
 
 	Serving struct {
 		InFlight        int64   `json:"in_flight"`
@@ -435,10 +488,20 @@ type statusResponse struct {
 		// SlowQueries counts requests at or over the slow-query threshold;
 		// always zero when the threshold is disabled.
 		SlowQueries uint64 `json:"slow_queries_total"`
+		// Degraded-serving totals; always zero on a strict daemon.
+		ShardErrors     uint64 `json:"shard_errors_total,omitempty"`
+		DegradedQueries uint64 `json:"degraded_queries_total,omitempty"`
 		// Adaptive planning totals; omitted on a static index.
 		ShardsPruned uint64            `json:"shards_pruned_total,omitempty"`
 		PlanChoices  map[string]uint64 `json:"plan_choices_total,omitempty"`
 	} `json:"serving"`
+}
+
+// shardStatus is one shard's boot health in /v1/status.
+type shardStatus struct {
+	Shard int    `json:"shard"`
+	State string `json:"state"` // serving | quarantined | rebuilt
+	Error string `json:"error,omitempty"`
 }
 
 // handleStatus answers GET /v1/status with build info, the dataset
@@ -468,6 +531,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	resp.Index.IndexBytes = st.IndexBytes
 	resp.Index.Mapped = st.Mapped
 	resp.Index.Compressed = st.Compressed
+	for _, h := range s.ix.Health() {
+		ss := shardStatus{Shard: h.Shard, State: h.State.String(), Error: h.Err}
+		switch h.State {
+		case seal.ShardQuarantined:
+			resp.Index.Quarantined++
+		case seal.ShardRebuilt:
+			resp.Index.Rebuilt++
+		}
+		resp.Shards = append(resp.Shards, ss)
+	}
 
 	resp.Serving.InFlight = s.metrics.InFlight()
 	resp.Serving.Queries = s.metrics.Queries()
@@ -475,6 +548,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	resp.Serving.P50MS = s.metrics.LatencyQuantile("query", 0.50) * 1e3
 	resp.Serving.P99MS = s.metrics.LatencyQuantile("query", 0.99) * 1e3
 	resp.Serving.SlowQueries = s.metrics.SlowQueries()
+	resp.Serving.ShardErrors = s.metrics.ShardErrors()
+	resp.Serving.DegradedQueries = s.metrics.DegradedQueries()
 	resp.Serving.ShardsPruned = s.metrics.ShardsPruned()
 	if pc := s.metrics.PlanChoices(); len(pc) > 0 {
 		resp.Serving.PlanChoices = pc
@@ -522,6 +597,10 @@ func queryErrorCode(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return 499
+	case errors.Is(err, seal.ErrShardQuarantined):
+		// A strict query on an index with a quarantined shard: the daemon is
+		// up but cannot give a complete answer until the shard is repaired.
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -540,6 +619,7 @@ func accumulate(agg *seal.Stats, st *seal.Stats) {
 	agg.VerifyTime += st.VerifyTime
 	agg.ShardFanout += st.ShardFanout
 	agg.ShardsPruned += st.ShardsPruned
+	agg.ShardErrors += st.ShardErrors
 	for family, n := range st.PlanChoices {
 		if agg.PlanChoices == nil {
 			agg.PlanChoices = make(map[string]int, len(st.PlanChoices))

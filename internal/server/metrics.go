@@ -134,6 +134,13 @@ type Metrics struct {
 	queries         atomic.Uint64
 	shardsPruned    atomic.Uint64
 	slowQueries     atomic.Uint64
+	shardErrors     atomic.Uint64
+	degradedQueries atomic.Uint64
+
+	// shardsQuarantined / shardsRebuilt are boot-health gauges, set once
+	// from the index's shard-health report.
+	shardsQuarantined atomic.Int64
+	shardsRebuilt     atomic.Int64
 
 	// per-stage latency histograms, fed from query traces; stage names come
 	// from the trace spine (admit|plan|filter|verify|merge).
@@ -210,6 +217,10 @@ func (m *Metrics) RecordQuery(st *seal.Stats, matches int) {
 	m.candidates.Add(uint64(st.Candidates))
 	m.shardSearches.Add(uint64(st.ShardFanout))
 	m.shardsPruned.Add(uint64(st.ShardsPruned))
+	if st.ShardErrors > 0 {
+		m.shardErrors.Add(uint64(st.ShardErrors))
+		m.degradedQueries.Add(1)
+	}
 	for family, n := range st.PlanChoices {
 		if n <= 0 {
 			continue
@@ -242,6 +253,19 @@ func (m *Metrics) RecordStages(t *seal.Trace) {
 
 // RecordSlowQuery counts one request at or over the slow-query threshold.
 func (m *Metrics) RecordSlowQuery() { m.slowQueries.Add(1) }
+
+// SetShardHealth records the boot-time shard-health gauges.
+func (m *Metrics) SetShardHealth(quarantined, rebuilt int) {
+	m.shardsQuarantined.Store(int64(quarantined))
+	m.shardsRebuilt.Store(int64(rebuilt))
+}
+
+// ShardErrors returns the cumulative dropped-shard total across all queries.
+func (m *Metrics) ShardErrors() uint64 { return m.shardErrors.Load() }
+
+// DegradedQueries returns how many queries answered with at least one shard
+// dropped.
+func (m *Metrics) DegradedQueries() uint64 { return m.degradedQueries.Load() }
 
 // SlowQueries returns the cumulative slow-query count.
 func (m *Metrics) SlowQueries() uint64 { return m.slowQueries.Load() }
@@ -368,6 +392,8 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"seal_candidates_total", "Candidates that reached exact verification.", m.candidates.Load()},
 		{"seal_shard_searches_total", "Per-shard searches actually run (realized fan-out).", m.shardSearches.Load()},
 		{"seal_shards_pruned_total", "Shard searches skipped by planner extent pruning.", m.shardsPruned.Load()},
+		{"seal_shard_errors_total", "Shards dropped from query merges (errored, panicked, timed out, or quarantined).", m.shardErrors.Load()},
+		{"seal_degraded_queries_total", "Queries answered degraded: at least one shard dropped from the merge.", m.degradedQueries.Load()},
 	}
 	for _, c := range engineCounters {
 		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
@@ -398,6 +424,8 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"seal_index_bytes", "In-memory (or mapped) index footprint in bytes.", st.IndexBytes},
 		{"seal_index_mapped", "1 when postings are served from mmap-ed sealed segments.", int64(b2i(st.Mapped))},
 		{"seal_index_compressed", "1 when posting lists are stored compressed.", int64(b2i(st.Compressed))},
+		{"seal_shards_quarantined", "Shards sidelined at boot with a corrupt or missing segment.", m.shardsQuarantined.Load()},
+		{"seal_shards_rebuilt", "Shards rebuilt from the dataset snapshot at boot after segment damage.", m.shardsRebuilt.Load()},
 	}
 	for _, g := range indexGauges {
 		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v)

@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/sealdb/seal"
+	"github.com/sealdb/seal/internal/faultfs"
 )
 
 // waitForGoroutines polls until the live goroutine count settles back to at
@@ -178,6 +180,89 @@ func TestStreamContextCancelNoLeak(t *testing.T) {
 			}
 		}
 		cancel()
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestStreamShardPanicNoLeak: a shard goroutine that panics mid-stream must
+// be recovered into an error (strict) or a drop (partial) with every other
+// shard goroutine unwound — a crashing shard must not strand its siblings.
+func TestStreamShardPanicNoLeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	ix, err := seal.Build(shardObjects(2000, rng), seal.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := seal.Request{
+		Region: seal.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100},
+		Tokens: []string{"t1", "t2"},
+		TauR:   0.0005,
+		TauT:   0.0005,
+	}
+	faultfs.Install((&faultfs.Injector{}).PanicShard(2, "injected stream panic"))
+	t.Cleanup(faultfs.Uninstall)
+
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 10; round++ {
+		// Strict: the recovered panic surfaces as the stream's terminal error.
+		sawErr := false
+		for _, serr := range ix.Stream(context.Background(), req) {
+			if serr != nil {
+				sawErr = true
+				if !strings.Contains(serr.Error(), "panicked") {
+					t.Fatalf("stream error %v, want a recovered panic", serr)
+				}
+				break
+			}
+		}
+		if !sawErr {
+			t.Fatal("strict stream over a panicking shard ended without an error")
+		}
+
+		// Partial: the panicking shard is dropped and the stream completes.
+		var st seal.Stats
+		for _, serr := range ix.Stream(context.Background(), req, seal.AllowPartial(), seal.StatsInto(&st)) {
+			if serr != nil {
+				t.Fatalf("partial stream: %v", serr)
+			}
+		}
+		if st.ShardErrors != 1 {
+			t.Fatalf("partial stream ShardErrors = %d, want 1", st.ShardErrors)
+		}
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestStreamShardTimeoutNoLeak: a shard dropped at its deadline mid-stream
+// leaves no goroutine behind — the late searcher finishes on its own, notices
+// it was abandoned, and exits.
+func TestStreamShardTimeoutNoLeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	ix, err := seal.Build(shardObjects(2000, rng), seal.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := seal.Request{
+		Region: seal.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100},
+		Tokens: []string{"t1", "t2"},
+		TauR:   0.0005,
+		TauT:   0.0005,
+	}
+	faultfs.Install((&faultfs.Injector{}).DelayShard(1, 150*time.Millisecond))
+	t.Cleanup(faultfs.Uninstall)
+
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 4; round++ {
+		var st seal.Stats
+		for _, serr := range ix.Stream(context.Background(), req,
+			seal.AllowPartial(), seal.ShardTimeout(15*time.Millisecond), seal.StatsInto(&st)) {
+			if serr != nil {
+				t.Fatalf("stream: %v", serr)
+			}
+		}
+		if st.ShardErrors != 1 {
+			t.Fatalf("ShardErrors = %d, want 1 (the delayed shard dropped)", st.ShardErrors)
+		}
 	}
 	waitForGoroutines(t, baseline)
 }

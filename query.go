@@ -92,6 +92,12 @@ type Results struct {
 	// Trace is the query's execution trace, non-nil when CollectTrace (or
 	// TraceInto) was requested.
 	Trace *Trace
+	// Degraded reports that one or more shards were dropped from this answer
+	// (failed, timed out, or quarantined at boot). Only AllowPartial queries
+	// can return degraded results — default queries fail instead. A degraded
+	// answer's matches are still exact for the shards that responded: it is
+	// the full answer minus the dropped shards' objects, never wrong entries.
+	Degraded bool
 }
 
 // BatchResult pairs one batch query's Results with its error; exactly one of
@@ -122,10 +128,17 @@ type queryConfig struct {
 	traceInto    *Trace
 	shardPar     int
 	batchPar     int
+	allowPartial bool
+	shardTimeout time.Duration
 	// batched marks executions whose enclosing loop already observes
 	// cancellation between queries, so the per-query mid-flight context
 	// watcher can be skipped (the engine's SearchBatched path).
 	batched bool
+}
+
+// partial translates the resolved failure-tolerance knobs for the engine.
+func (c queryConfig) partial() engine.Partial {
+	return engine.Partial{Allow: c.allowPartial, ShardTimeout: c.shardTimeout}
 }
 
 // QueryOption tunes one Query, Stream or QueryBatch call.
@@ -200,6 +213,32 @@ func BatchParallelism(n int) QueryOption {
 	return func(c *queryConfig) { c.batchPar = n }
 }
 
+// AllowPartial opts this query into degraded answers: a shard that fails,
+// exceeds ShardTimeout, or was quarantined at boot is dropped from the merge
+// instead of failing the query. The result then has Degraded set and
+// Stats.ShardErrors counts the drops. Without this option (the default) any
+// shard problem fails the whole query — with ErrShardQuarantined for
+// sidelined shards — so answers are always complete or absent, never
+// silently partial.
+//
+// A degraded answer's matches are exact for the shards that responded (each
+// shard verifies true similarity independently); what is lost is
+// completeness. For ranked requests a shard dropped mid-descent by
+// ShardTimeout additionally makes the ranking best-effort — see the
+// "Failure modes & recovery" section of the package documentation.
+func AllowPartial() QueryOption {
+	return func(c *queryConfig) { c.allowPartial = true }
+}
+
+// ShardTimeout bounds each shard's search for this query; a shard exceeding
+// d is dropped like a failed shard. It requires AllowPartial — without
+// somewhere to drop a slow shard to, a per-shard deadline has no meaning
+// (use a context deadline to bound the whole query instead). Zero (the
+// default) means no per-shard bound.
+func ShardTimeout(d time.Duration) QueryOption {
+	return func(c *queryConfig) { c.shardTimeout = d }
+}
+
 func resolveOptions(opts []QueryOption) (queryConfig, error) {
 	var c queryConfig
 	for _, opt := range opts {
@@ -210,6 +249,12 @@ func resolveOptions(opts []QueryOption) (queryConfig, error) {
 	}
 	if c.offset < 0 {
 		return c, fmt.Errorf("seal: negative Offset %d", c.offset)
+	}
+	if c.shardTimeout < 0 {
+		return c, fmt.Errorf("seal: negative ShardTimeout %v", c.shardTimeout)
+	}
+	if c.shardTimeout > 0 && !c.allowPartial {
+		return c, fmt.Errorf("seal: ShardTimeout requires AllowPartial")
 	}
 	if c.statsInto != nil {
 		c.collectStats = true
@@ -308,11 +353,11 @@ func (ix *Index) queryThreshold(ctx context.Context, req Request, cfg queryConfi
 	case cfg.engineLimit() > 0 || cfg.shardPar > 0:
 		// SearchLimited is the ID-ordered scatter with a verification cap
 		// and a shard-parallelism bound; limit 0 means uncapped.
-		found, st, err = ix.eng.SearchLimitedTraced(ctx, mq, cfg.engineLimit(), cfg.shardPar, rec)
+		found, st, err = ix.eng.SearchLimitedExec(ctx, mq, cfg.engineLimit(), cfg.shardPar, rec, cfg.partial())
 	case cfg.batched:
-		found, st, err = ix.eng.SearchBatchedTraced(ctx, mq, rec)
+		found, st, err = ix.eng.SearchBatchedExec(ctx, mq, rec, cfg.partial())
 	default:
-		found, st, err = ix.eng.SearchTraced(ctx, mq, rec)
+		found, st, err = ix.eng.SearchExec(ctx, mq, rec, cfg.partial())
 	}
 	if err != nil {
 		return nil, err
@@ -331,6 +376,7 @@ func (ix *Index) drainStream(ctx context.Context, mq *model.Query, cfg queryConf
 		Limit:       cfg.engineLimit(),
 		Parallelism: cfg.shardPar,
 		Trace:       rec,
+		Partial:     cfg.partial(),
 	})
 	defer ms.Close()
 	var found []core.Match
@@ -364,12 +410,12 @@ func (ix *Index) queryRanked(ctx context.Context, req Request, cfg queryConfig, 
 	// Ranked admission ends here; the descent compiles its own per-round
 	// queries inside the engine.
 	admitSpan(rec)
-	found, st, err := ix.eng.TopKTraced(ctx, rectIn(req.Region), req.Tokens, core.TopKOptions{
+	found, st, err := ix.eng.TopKExec(ctx, rectIn(req.Region), req.Tokens, core.TopKOptions{
 		K:      effK,
 		Alpha:  req.Alpha,
 		FloorR: req.FloorR,
 		FloorT: req.FloorT,
-	}, cfg.shardPar, rec)
+	}, cfg.shardPar, rec, cfg.partial())
 	if err != nil {
 		return nil, err
 	}
@@ -397,7 +443,10 @@ func (ix *Index) queryRanked(ctx context.Context, req Request, cfg queryConfig, 
 
 // finish assembles Results and serves the stats and trace options.
 func (ix *Index) finish(matches []Match, st core.SearchStats, cfg queryConfig, rec *trace.Rec) *Results {
-	res := &Results{Matches: matches}
+	// Degradation is reported unconditionally, not only under CollectStats:
+	// a caller that opted into partial answers must always be able to tell a
+	// complete answer from a degraded one.
+	res := &Results{Matches: matches, Degraded: st.ShardErrors > 0}
 	if cfg.collectStats {
 		s := ix.statsOut(st)
 		res.Stats = &s
@@ -424,6 +473,7 @@ func (ix *Index) statsOut(st core.SearchStats) Stats {
 		VerifyTime:      st.VerifyTime,
 		ShardFanout:     st.Shards,
 		ShardsPruned:    st.ShardsPruned,
+		ShardErrors:     st.ShardErrors,
 	}
 	if names := ix.eng.PlanFamilyNames(); names != nil {
 		s.PlanChoices = make(map[string]int, len(names))

@@ -81,6 +81,10 @@ type Stats struct {
 	// partition extent provably cannot reach the query's spatial threshold.
 	// Always zero without WithAdaptivePlanning.
 	ShardsPruned int
+	// ShardErrors counts shards dropped from this query's answer because
+	// they failed, timed out, or were quarantined at boot. Always zero
+	// without AllowPartial — default queries fail instead of dropping.
+	ShardErrors int
 	// PlanChoices counts, per filter family name, how many shard searches
 	// the adaptive planner routed to that family (ranked requests count one
 	// choice per descent round). Nil without WithAdaptivePlanning.

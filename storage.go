@@ -102,17 +102,91 @@ func manifestMatches(m *engine.Manifest, cfg options, objects int) bool {
 		m.Compressed == (cfg.compression != CompressionNone)
 }
 
+// OpenOption adjusts how Open treats a damaged segment directory.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	repair bool
+}
+
+// WithRepair makes Open rebuild a corrupt or missing shard from the dataset
+// snapshot instead of quarantining it: the manifest records the filter
+// configuration, so the shard's postings are regenerated in memory (exact, by
+// construction) and its segment is best-effort re-saved. Opening is slower
+// for the damaged shard — roughly its share of a full build — but the index
+// comes up complete.
+func WithRepair() OpenOption {
+	return func(o *openConfig) { o.repair = true }
+}
+
+// ShardState classifies one shard's boot-time health.
+type ShardState int
+
+const (
+	// ShardServing opened cleanly from its segment.
+	ShardServing ShardState = iota
+	// ShardQuarantined had a corrupt or missing segment and was sidelined:
+	// it answers no queries. Default queries against an index with a
+	// quarantined shard fail with ErrShardQuarantined; AllowPartial queries
+	// skip it and mark the results Degraded.
+	ShardQuarantined
+	// ShardRebuilt had a corrupt or missing segment and was rebuilt from the
+	// dataset snapshot (WithRepair). It serves exact answers.
+	ShardRebuilt
+)
+
+// String names the state for health endpoints and logs.
+func (s ShardState) String() string { return engine.ShardState(s).String() }
+
+// ShardHealth reports one shard's state and, for quarantined or rebuilt
+// shards, the error that sidelined it.
+type ShardHealth struct {
+	Shard int
+	State ShardState
+	Err   string
+}
+
+// Health reports every shard's state. Indexes built in memory report all
+// shards serving; indexes opened from a damaged segment directory report
+// which shards were quarantined or rebuilt, and why.
+func (ix *Index) Health() []ShardHealth {
+	eh := ix.eng.Health()
+	out := make([]ShardHealth, len(eh))
+	for i, h := range eh {
+		out[i] = ShardHealth{Shard: h.Shard, State: ShardState(h.State), Err: h.Err}
+	}
+	return out
+}
+
+// Quarantined counts shards sidelined at open time. A non-zero count means
+// default queries fail with ErrShardQuarantined until the index is repaired
+// or rebuilt; AllowPartial queries serve the healthy shards.
+func (ix *Index) Quarantined() int { return ix.eng.Quarantined() }
+
 // Open boots an index from a segment directory previously populated by
 // Build(WithSegmentDir(dir)). The dataset is restored from its snapshot and
 // every shard's postings are memory-mapped, so no signature generation runs.
 // The returned index must be Closed when done.
-func Open(dir string) (*Index, error) {
+//
+// Open survives single-shard damage: abandoned temp files from an
+// interrupted save are swept, every section's checksum is verified, and a
+// shard whose segment is corrupt or missing is quarantined (or rebuilt, with
+// WithRepair) instead of failing the open — check Health for the outcome.
+// Damage that compromises the whole directory (no manifest, unreadable
+// snapshot or partition file, every shard bad) still fails with a sentinel
+// error: ErrCorruptSegment, ErrManifestMismatch, or engine.ErrNoSegments
+// unwrapped via errors.Is.
+func Open(dir string, opts ...OpenOption) (*Index, error) {
 	start := time.Now()
+	var oc openConfig
+	for _, o := range opts {
+		o(&oc)
+	}
 	man, err := engine.ReadManifest(dir)
 	if err != nil {
 		return nil, fmt.Errorf("seal: opening segments: %w", err)
 	}
-	eng, err := engine.OpenSegments(dir)
+	eng, _, err := engine.OpenSegmentsWith(dir, nil, engine.OpenOptions{Quarantine: true, Repair: oc.repair})
 	if err != nil {
 		return nil, fmt.Errorf("seal: opening segments: %w", err)
 	}

@@ -91,6 +91,7 @@ func (ix *Index) streamArrival(ctx context.Context, req Request, cfg queryConfig
 		Limit:       cfg.engineLimit(),
 		Parallelism: cfg.shardPar,
 		Trace:       rec,
+		Partial:     cfg.partial(),
 	})
 	defer func() {
 		ms.Close()
